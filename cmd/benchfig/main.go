@@ -1,0 +1,83 @@
+// Command benchfig regenerates the paper's evaluation figures (§6) as text
+// tables: Fig 6 (ingestion across formats), Fig 7 (local dataloaders),
+// Fig 8 (storage locations), Fig 9 (ImageNet training modes on S3), Fig 10
+// (distributed CLIP-like training utilization), plus the ablation sweeps.
+//
+// Usage:
+//
+//	benchfig [-n N] [-workers W] [-side PX] [fig6|fig7|fig8|fig9|fig10|ablations|all]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+type runner struct {
+	name string
+	def  int // default N at CLI scale
+	fn   func(context.Context, bench.Config) (*bench.Result, error)
+}
+
+func main() {
+	n := flag.Int("n", 0, "sample count (0 = per-figure default)")
+	workers := flag.Int("workers", 8, "loader/ingest parallelism")
+	side := flag.Int("side", 0, "override synthetic image edge length (0 = figure default)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+
+	runners := []runner{
+		{"fig6", 64, bench.Fig6Ingestion},
+		{"fig7", 2000, bench.Fig7LocalLoaders},
+		{"fig8", 800, bench.Fig8StorageLocations},
+		{"fig9", 600, bench.Fig9ImageNetCloud},
+		{"fig10", 2048, bench.Fig10DistributedCLIP},
+	}
+	ablations := []runner{
+		{"ablation-chunksize", 400, bench.AblationChunkSize},
+		{"ablation-shufflebuffer", 1000, bench.AblationShuffleBuffer},
+		{"ablation-workers", 800, bench.AblationWorkers},
+		{"ablation-versiondepth", 50, bench.AblationVersionDepth},
+		{"ablation-sparseviews", 600, bench.AblationSparseViews},
+		{"ablation-cache", 600, bench.AblationCacheEpochs},
+	}
+
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	run := func(r runner) {
+		cfg := bench.Config{N: *n, Workers: *workers, ImageSide: *side, Seed: *seed}
+		if cfg.N == 0 {
+			cfg.N = r.def
+		}
+		start := time.Now()
+		res, err := r.fn(context.Background(), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("  (completed in %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	for _, r := range runners {
+		if want["all"] || want[r.name] {
+			run(r)
+		}
+	}
+	for _, r := range ablations {
+		if want["all"] || want["ablations"] || want[r.name] {
+			run(r)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "deeplake-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	binary = filepath.Join(dir, "deeplake")
+	out, err := exec.Command("go", "build", "-o", binary, ".").CombinedOutput()
+	if err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(binary, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("deeplake %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(binary, args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("deeplake %s should have failed\n%s", strings.Join(args, " "), out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	p := "-path=" + dir
+
+	// Create + info.
+	out := run(t, "create", p, "-name", "clitest")
+	if !strings.Contains(out, "clitest") {
+		t.Fatalf("create output: %q", out)
+	}
+	out = run(t, "info", p)
+	if !strings.Contains(out, "branch=main") {
+		t.Fatalf("info output: %q", out)
+	}
+
+	// Synthetic ingest.
+	run(t, "synth", p, "-n", "30", "-side", "32")
+	out = run(t, "info", p)
+	if !strings.Contains(out, "images") || !strings.Contains(out, "len=30") {
+		t.Fatalf("info after synth: %q", out)
+	}
+
+	// Commit + log.
+	out = run(t, "commit", p, "-m", "first thirty")
+	if !strings.Contains(out, "committed") {
+		t.Fatalf("commit output: %q", out)
+	}
+	out = run(t, "log", p)
+	if !strings.Contains(out, "first thirty") {
+		t.Fatalf("log output: %q", out)
+	}
+
+	// Query + explain.
+	out = run(t, "query", p, "-q", "SELECT labels FROM clitest WHERE labels == 1")
+	if !strings.Contains(out, "rows") {
+		t.Fatalf("query output: %q", out)
+	}
+	out = run(t, "query", p, "-q", "SELECT labels FROM x WHERE SHAPE(labels)[0] == 0", "-explain")
+	if !strings.Contains(out, "filter") {
+		t.Fatalf("explain output: %q", out)
+	}
+
+	// Branch + checkout + merge.
+	run(t, "checkout", p, "-ref", "exp", "-create")
+	out = run(t, "branch", p)
+	if !strings.Contains(out, "* exp") {
+		t.Fatalf("branch output: %q", out)
+	}
+	run(t, "synth", p, "-n", "5", "-side", "32")
+	run(t, "commit", p, "-m", "five more on exp")
+	run(t, "checkout", p, "-ref", "main")
+	run(t, "merge", p, "-from", "exp", "-theirs")
+	out = run(t, "info", p)
+	if !strings.Contains(out, "len=35") {
+		t.Fatalf("info after merge: %q", out)
+	}
+
+	// Diff between refs.
+	out = run(t, "diff", p, "-a", "exp", "-b", "main")
+	if !strings.Contains(out, "base") {
+		t.Fatalf("diff output: %q", out)
+	}
+}
+
+func TestCLICSVIngest(t *testing.T) {
+	dir := t.TempDir()
+	p := "-path=" + dir
+	run(t, "create", p, "-name", "csv")
+	csv := filepath.Join(t.TempDir(), "meta.csv")
+	os.WriteFile(csv, []byte("id,score\n1,0.5\n2,0.9\n"), 0o644)
+	out := run(t, "ingest", p, "-csv", csv, "-commit", "metadata")
+	if !strings.Contains(out, "ingested 2 records") {
+		t.Fatalf("ingest output: %q", out)
+	}
+	out = run(t, "info", p)
+	if !strings.Contains(out, "score") {
+		t.Fatalf("info after ingest: %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	p := "-path=" + dir
+	runExpectError(t, "info", p)     // no dataset yet
+	runExpectError(t, "query", p)    // missing -q
+	runExpectError(t, "commit", p)   // missing -m
+	runExpectError(t, "nonsense", p) // unknown command
+	run(t, "create", p, "-name", "x")
+	runExpectError(t, "query", p, "-q", "SELECT nosuch FROM x")
+	runExpectError(t, "checkout", p, "-ref", "ghost")
+}

@@ -1,0 +1,46 @@
+// Command vizserver serves a Deep Lake dataset over HTTP for in-browser
+// inspection (§4.3): /info, /layout, /sample?tensor=&row=, /render?row=,
+// and /query?q= run TQL against the live dataset, streaming straight from
+// the storage provider.
+//
+// Usage:
+//
+//	vizserver -path DIR [-addr :8080]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/viz"
+)
+
+func main() {
+	path := flag.String("path", "", "dataset directory")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "missing -path")
+		os.Exit(2)
+	}
+	store, err := storage.NewFS(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ds, err := core.Open(context.Background(), store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving dataset %q (%d rows) on %s\n", ds.Name(), ds.NumRows(), *addr)
+	if err := http.ListenAndServe(*addr, viz.NewServer(ds)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,208 @@
+// Package deeplake is a from-scratch Go reproduction of "Deep Lake: a
+// Lakehouse for Deep Learning" (Hambardzumyan et al., CIDR 2023): a
+// columnar dataset format for dynamically shaped tensors on object storage
+// (the Tensor Storage Format), a streaming dataloader that keeps
+// accelerators utilized over the network, an embedded Tensor Query Language,
+// dataset version control, materialized views, parallel ingestion
+// pipelines, and an htype-aware visualization engine.
+//
+// This root package is the public API; the subsystems live in internal
+// packages and are re-exported here. A minimal session:
+//
+//	store := deeplake.NewMemoryStore()
+//	ds, _ := deeplake.Create(ctx, store, "quickstart")
+//	images, _ := ds.CreateTensor(ctx, deeplake.TensorSpec{Name: "images", Htype: "image"})
+//	labels, _ := ds.CreateTensor(ctx, deeplake.TensorSpec{Name: "labels", Htype: "class_label"})
+//	... append samples ...
+//	ds.Commit(ctx, "first million")
+//
+//	view, _ := deeplake.Query(ctx, ds, `SELECT * FROM quickstart WHERE labels == 2`)
+//	loader := deeplake.NewLoader(view, deeplake.LoaderOptions{BatchSize: 32, Shuffle: true})
+//	for batch := range loader.Batches(ctx) { ... }
+package deeplake
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/dataloader"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/tql"
+	"repro/internal/view"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Dataset is an open Deep Lake dataset (§3, §4).
+	Dataset = core.Dataset
+	// Tensor is one typed column of a dataset (§3.2).
+	Tensor = core.Tensor
+	// TensorSpec declares a new tensor column.
+	TensorSpec = core.TensorSpec
+	// TensorMeta is persisted tensor metadata.
+	TensorMeta = core.TensorMeta
+
+	// NDArray is the in-memory n-dimensional array samples travel as.
+	NDArray = tensor.NDArray
+	// Dtype enumerates element types.
+	Dtype = tensor.Dtype
+	// Range selects [Start, Stop) along one axis.
+	Range = tensor.Range
+
+	// View is an ordered row selection with output columns (§4.4-4.5).
+	View = view.View
+	// Column is one output column of a view.
+	Column = view.Column
+	// Resolver fetches linked-tensor URLs (§4.5).
+	Resolver = view.Resolver
+
+	// Loader streams batches from a view (§4.6).
+	Loader = dataloader.Loader
+	// LoaderOptions configures a Loader.
+	LoaderOptions = dataloader.Options
+	// Batch is one collated batch.
+	Batch = dataloader.Batch
+
+	// Provider is the pluggable storage contract (§3.6).
+	Provider = storage.Provider
+
+	// MergePolicy resolves merge conflicts (§4.2).
+	MergePolicy = core.MergePolicy
+)
+
+// Dtype constants.
+const (
+	Bool    = tensor.Bool
+	UInt8   = tensor.UInt8
+	UInt16  = tensor.UInt16
+	UInt32  = tensor.UInt32
+	UInt64  = tensor.UInt64
+	Int8    = tensor.Int8
+	Int16   = tensor.Int16
+	Int32   = tensor.Int32
+	Int64   = tensor.Int64
+	Float32 = tensor.Float32
+	Float64 = tensor.Float64
+)
+
+// Merge policies.
+const (
+	MergeOurs   = core.MergeOurs
+	MergeTheirs = core.MergeTheirs
+)
+
+// Create initializes an empty dataset on a provider.
+func Create(ctx context.Context, store Provider, name string) (*Dataset, error) {
+	return core.Create(ctx, store, name)
+}
+
+// Open loads an existing dataset at its current branch head.
+func Open(ctx context.Context, store Provider) (*Dataset, error) {
+	return core.Open(ctx, store)
+}
+
+// Query parses and executes a TQL statement against a dataset (§4.4),
+// returning the result view.
+func Query(ctx context.Context, ds *Dataset, src string) (*View, error) {
+	return tql.Run(ctx, ds, src)
+}
+
+// Explain parses a TQL statement and renders its logical plan.
+func Explain(src string) (string, error) {
+	q, err := tql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := tql.Compile(q)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
+}
+
+// NewLoader builds a streaming dataloader over a view.
+func NewLoader(v *View, opts LoaderOptions) *Loader { return dataloader.New(v, opts) }
+
+// NewDatasetLoader streams all complete rows of a dataset.
+func NewDatasetLoader(ds *Dataset, opts LoaderOptions) *Loader {
+	return dataloader.ForDataset(ds, opts)
+}
+
+// AllRows returns the identity view over a dataset.
+func AllRows(ds *Dataset) *View { return view.All(ds) }
+
+// NewView builds a view over explicit row indices; nil columns selects all
+// visible tensors.
+func NewView(ds *Dataset, indices []uint64, columns []Column) *View {
+	return view.New(ds, indices, columns)
+}
+
+// Materialize writes a view into a fresh dataset with an optimal streaming
+// layout (§4.5).
+func Materialize(ctx context.Context, v *View, dst Provider, name string) (*Dataset, error) {
+	return view.Materialize(ctx, v, dst, view.MaterializeOptions{Name: name})
+}
+
+// NewResolver builds a linked-tensor resolver.
+func NewResolver() *Resolver { return view.NewResolver() }
+
+// LinkedColumn builds a view column that resolves a link[image] tensor.
+func LinkedColumn(name string, t *Tensor, r *Resolver) Column {
+	return view.LinkedColumn(name, t, r)
+}
+
+// Storage constructors.
+
+// NewMemoryStore returns an in-process provider.
+func NewMemoryStore() Provider { return storage.NewMemory() }
+
+// NewFSStore returns a provider rooted at a local directory.
+func NewFSStore(dir string) (Provider, error) { return storage.NewFS(dir) }
+
+// NewS3SimStore returns an in-process object store behaving like an S3
+// bucket in the same region (latency/bandwidth simulated; §6 evaluation
+// substrate).
+func NewS3SimStore() Provider { return storage.NewSimObjectStore(simnet.S3SameRegion()) }
+
+// NewS3CrossRegionSimStore simulates a cross-region bucket (Fig 10 setup).
+func NewS3CrossRegionSimStore() Provider {
+	return storage.NewSimObjectStore(simnet.S3CrossRegion())
+}
+
+// NewMinIOSimStore simulates MinIO on a local network (Fig 8 setup).
+func NewMinIOSimStore() Provider { return storage.NewSimObjectStore(simnet.MinIOLAN()) }
+
+// WithLRUCache chains an in-memory LRU cache of the given byte capacity in
+// front of a slower provider (§3.6).
+func WithLRUCache(origin Provider, capacity int64) Provider {
+	return storage.NewLRU(origin, capacity)
+}
+
+// Array constructors.
+
+// NewArray allocates a zeroed array.
+func NewArray(d Dtype, shape ...int) (*NDArray, error) { return tensor.New(d, shape...) }
+
+// FromBytes wraps a raw buffer as an array.
+func FromBytes(d Dtype, shape []int, data []byte) (*NDArray, error) {
+	return tensor.FromBytes(d, shape, data)
+}
+
+// FromFloat64s builds an array from float64 values.
+func FromFloat64s(d Dtype, shape []int, values []float64) (*NDArray, error) {
+	return tensor.FromFloat64s(d, shape, values)
+}
+
+// Scalar wraps one value as a 0-d array.
+func Scalar(d Dtype, v float64) *NDArray { return tensor.Scalar(d, v) }
+
+// FromString encodes a string as a text sample.
+func FromString(s string) *NDArray { return tensor.FromString(s) }
+
+// All selects an entire axis in a Slice call.
+func All() Range { return tensor.All() }
+
+// End marks an open upper bound in a Range.
+const End = tensor.End

@@ -1,0 +1,86 @@
+// TQL runs the paper's Fig 5 query: crop images, normalize predicted boxes
+// against the crop, filter and order rows by IOU against reference boxes,
+// and rebalance by label — then materializes the result into a fresh
+// dataset with an optimal streaming layout (§4.4-4.5).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	deeplake "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	ctx := context.Background()
+	ds, err := deeplake.Create(ctx, deeplake.NewMemoryStore(), "detection")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	images, _ := ds.CreateTensor(ctx, deeplake.TensorSpec{Name: "images", Htype: "image"})
+	boxes, _ := ds.CreateTensor(ctx, deeplake.TensorSpec{Name: "boxes", Htype: "bbox"})
+	labels, _ := ds.CreateTensor(ctx, deeplake.TensorSpec{Name: "labels", Htype: "class_label"})
+	// The group "training" holds reference annotations (§3.1 groups).
+	refBoxes, _ := ds.Group("training").CreateTensor(ctx, deeplake.TensorSpec{Name: "boxes", Htype: "bbox"})
+
+	spec := workload.ImageSpec{Height: 128, Width: 128, Channels: 3, Seed: 5}
+	for i := 0; i < 60; i++ {
+		must(images.Append(ctx, spec.Image(i)))
+		// Reference box fixed; prediction drifts with i so IOU decays.
+		ref, _ := deeplake.FromFloat64s(deeplake.Float32, []int{1, 4}, []float64{20, 20, 60, 60})
+		must(refBoxes.Append(ctx, ref))
+		pred, _ := deeplake.FromFloat64s(deeplake.Float32, []int{1, 4},
+			[]float64{20 + float64(i%40), 20, 60, 60})
+		must(boxes.Append(ctx, pred))
+		must(labels.Append(ctx, workload.Label(5, i, 3)))
+	}
+	must(ds.Flush(ctx))
+
+	query := `
+		SELECT
+			images[32:96, 32:96, 0:2] as crop,
+			NORMALIZE(boxes, [32, 32, 64, 64]) as box,
+			labels
+		FROM detection
+		WHERE IOU(boxes, "training/boxes") > 0.5
+		ORDER BY IOU(boxes, "training/boxes")
+		ARRANGE BY labels`
+
+	// Show the logical plan first (§4.4 planner).
+	plan, err := deeplake.Explain(query)
+	must(err)
+	fmt.Println("plan:")
+	fmt.Println(plan)
+
+	view, err := deeplake.Query(ctx, ds, query)
+	must(err)
+	fmt.Printf("\nquery selected %d/%d rows; columns %v\n", view.Len(), ds.NumRows(), view.ColumnNames())
+
+	row, err := view.Row(ctx, 0)
+	must(err)
+	fmt.Printf("first row: crop %v, box %v (values %.2f)\n",
+		row["crop"], row["box"].Shape(), row["box"].Float64s())
+
+	// Materialize the sparse view into a dense, streamable dataset (§4.5).
+	out, err := deeplake.Materialize(ctx, view, deeplake.NewMemoryStore(), "detection-curated")
+	must(err)
+	fmt.Printf("materialized %q: %d rows, tensors %v\n", out.Name(), out.NumRows(), out.Tensors())
+
+	// The materialized dataset streams like any other.
+	loader := deeplake.NewDatasetLoader(out, deeplake.LoaderOptions{BatchSize: 8, Workers: 4})
+	n := 0
+	for b := range loader.Batches(ctx) {
+		n += len(b.Samples)
+	}
+	must(loader.Err())
+	fmt.Printf("streamed %d curated samples\n", n)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package baselines implements from scratch the essential storage layout
+// and loading strategy of every system the paper benchmarks against
+// (§6, Figs 6-8): WebDataset tar shards, FFCV's Beton single-file format,
+// Zarr/N5-style statically chunked array stores, TFRecord streams,
+// Squirrel's MessagePack shards, and the file-per-sample layout consumed by
+// a naive (PyTorch-style) dataloader.
+//
+// Each format implements the same Format interface so the benchmark harness
+// ingests the identical sample stream into each and iterates them back with
+// the same worker parallelism.
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/storage"
+)
+
+// Sample is the exchange unit between workloads and formats.
+type Sample struct {
+	// Index is the sample position.
+	Index int
+	// Data is the payload: raw HWC pixels when Encoding is "raw", media
+	// bytes when Encoding is "jpeg".
+	Data []byte
+	// Shape is the pixel shape (H, W, C).
+	Shape []int
+	// Encoding is "raw" or "jpeg".
+	Encoding string
+	// Label is the class label.
+	Label int32
+}
+
+// Format writes and iterates datasets in one baseline layout.
+type Format interface {
+	// Name identifies the format in benchmark output.
+	Name() string
+	// Write ingests samples in order onto the provider.
+	Write(ctx context.Context, store storage.Provider, samples []Sample) error
+	// Iterate streams every sample back, decoded to raw pixels, calling
+	// fn from up to workers goroutines. Order is format-defined.
+	Iterate(ctx context.Context, store storage.Provider, workers int, fn func(Sample) error) error
+}
+
+// decodeToRaw normalizes a stored sample to raw pixels, decoding media in
+// the calling (worker) goroutine.
+func decodeToRaw(s Sample) (Sample, error) {
+	if s.Encoding != "jpeg" {
+		return s, nil
+	}
+	codec, err := compress.SampleByName("jpeg")
+	if err != nil {
+		return Sample{}, err
+	}
+	pixels, h, w, c, err := codec.Decode(s.Data)
+	if err != nil {
+		return Sample{}, fmt.Errorf("baselines: decode sample %d: %w", s.Index, err)
+	}
+	s.Data = pixels
+	s.Shape = []int{h, w, c}
+	s.Encoding = "raw"
+	return s, nil
+}
+
+// runWorkers fans jobs out to a bounded pool and propagates the first
+// error, the shared iteration skeleton of all loaders.
+func runWorkers[T any](ctx context.Context, workers int, jobs []T, run func(T) error) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	ch := make(chan T)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := run(j); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}()
+	}
+loop:
+	for _, j := range jobs {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop || ctx.Err() != nil {
+			break loop
+		}
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

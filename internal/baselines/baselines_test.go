@@ -1,0 +1,336 @@
+package baselines
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compress"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// allFormats returns one instance of every baseline.
+func allFormats() []Format {
+	return []Format{
+		WebDataset{ShardBytes: 1 << 16},
+		Beton{},
+		ArrayStore{Flavor: "zarr", ImagesPerChunk: 3},
+		ArrayStore{Flavor: "n5", ImagesPerChunk: 3},
+		TFRecord{RecordsPerFile: 7},
+		Squirrel{SamplesPerShard: 5},
+		FileSample{},
+		ParquetLite{RowsPerGroup: 6},
+	}
+}
+
+// rawSamples builds n small deterministic raw samples.
+func rawSamples(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		data := make([]byte, 4*6*3)
+		for k := range data {
+			data[k] = byte((i*31 + k*7) % 256)
+		}
+		out[i] = Sample{Index: i, Data: data, Shape: []int{4, 6, 3}, Encoding: "raw", Label: int32(i % 5)}
+	}
+	return out
+}
+
+// jpegSamples builds n JPEG-encoded samples from the workload generator.
+func jpegSamples(t testing.TB, n int) []Sample {
+	t.Helper()
+	codec, err := compress.SampleByName("jpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.ImageSpec{Height: 32, Width: 32, Channels: 3, Seed: 11}
+	out := make([]Sample, n)
+	for i := range out {
+		img := spec.Image(i)
+		s := img.Shape()
+		enc, err := codec.Encode(img.Bytes(), s[0], s[1], s[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = Sample{Index: i, Data: enc, Shape: s, Encoding: "jpeg", Label: int32(i % 3)}
+	}
+	return out
+}
+
+func collect(t testing.TB, f Format, store storage.Provider, workers int) map[int]Sample {
+	t.Helper()
+	var mu sync.Mutex
+	got := map[int]Sample{}
+	err := f.Iterate(context.Background(), store, workers, func(s Sample) error {
+		mu.Lock()
+		got[s.Index] = s
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s iterate: %v", f.Name(), err)
+	}
+	return got
+}
+
+func TestRawRoundTripAllFormats(t *testing.T) {
+	ctx := context.Background()
+	samples := rawSamples(20)
+	for _, f := range allFormats() {
+		t.Run(f.Name(), func(t *testing.T) {
+			store := storage.NewMemory()
+			if err := f.Write(ctx, store, samples); err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, f, store, 4)
+			if len(got) != len(samples) {
+				t.Fatalf("%d samples back, want %d", len(got), len(samples))
+			}
+			for _, want := range samples {
+				s, ok := got[want.Index]
+				if !ok {
+					t.Fatalf("sample %d missing", want.Index)
+				}
+				if s.Label != want.Label {
+					t.Fatalf("sample %d label = %d, want %d", want.Index, s.Label, want.Label)
+				}
+				if !bytes.Equal(s.Data, want.Data) {
+					t.Fatalf("sample %d data mismatch", want.Index)
+				}
+			}
+		})
+	}
+}
+
+func TestJPEGRoundTripDecodableFormats(t *testing.T) {
+	// Array stores are raw-only; every byte-oriented format must carry
+	// JPEG payloads and decode them during iteration.
+	ctx := context.Background()
+	samples := jpegSamples(t, 10)
+	for _, f := range []Format{WebDataset{ShardBytes: 1 << 16}, Beton{}, TFRecord{}, Squirrel{}, FileSample{}, ParquetLite{RowsPerGroup: 4}} {
+		t.Run(f.Name(), func(t *testing.T) {
+			store := storage.NewMemory()
+			if err := f.Write(ctx, store, samples); err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, f, store, 4)
+			if len(got) != len(samples) {
+				t.Fatalf("%d samples, want %d", len(got), len(samples))
+			}
+			for idx, s := range got {
+				if s.Encoding != "raw" {
+					t.Fatalf("sample %d not decoded: %q", idx, s.Encoding)
+				}
+				if len(s.Shape) != 3 || s.Shape[0] != 32 || s.Shape[1] != 32 {
+					t.Fatalf("sample %d shape = %v", idx, s.Shape)
+				}
+				if len(s.Data) != 32*32*3 {
+					t.Fatalf("sample %d decoded to %d bytes", idx, len(s.Data))
+				}
+			}
+		})
+	}
+}
+
+func TestArrayStoreRejectsJPEG(t *testing.T) {
+	ctx := context.Background()
+	if err := (ArrayStore{}).Write(ctx, storage.NewMemory(), jpegSamples(t, 2)); err == nil {
+		t.Fatal("array stores must reject media-encoded samples")
+	}
+}
+
+func TestArrayStorePadsRaggedSamples(t *testing.T) {
+	// Static chunking pads everything to the max shape: storage grows
+	// accordingly (the §2.2/§7.1 inefficiency the paper calls out).
+	ctx := context.Background()
+	samples := []Sample{
+		{Index: 0, Data: make([]byte, 4*4), Shape: []int{4, 4, 1}, Encoding: "raw"},
+		{Index: 1, Data: make([]byte, 16*16), Shape: []int{16, 16, 1}, Encoding: "raw"},
+	}
+	for i := range samples[0].Data {
+		samples[0].Data[i] = 7
+	}
+	store := storage.NewMemory()
+	if err := (ArrayStore{ImagesPerChunk: 2}).Write(ctx, store, samples); err != nil {
+		t.Fatal(err)
+	}
+	if store.TotalBytes() < 2*16*16 {
+		t.Fatalf("padded store only %d bytes; expected >= 512 (2 padded cells)", store.TotalBytes())
+	}
+	got := collect(t, ArrayStore{ImagesPerChunk: 2}, store, 2)
+	// Sample 0 comes back padded to 16x16 with its content in the corner.
+	s0 := got[0]
+	if s0.Shape[0] != 16 || s0.Shape[1] != 16 {
+		t.Fatalf("padded shape = %v", s0.Shape)
+	}
+	if s0.Data[0] != 7 || s0.Data[3] != 7 {
+		t.Fatal("original content lost in padding")
+	}
+	if s0.Data[16*16-1] != 0 {
+		t.Fatal("padding not zeroed")
+	}
+}
+
+func TestArrayStoreWriteAmplification(t *testing.T) {
+	// Serial appends into a static grid rewrite the trailing chunk per
+	// sample: PUT count ~= N, and bytes written greatly exceed payload.
+	ctx := context.Background()
+	samples := rawSamples(12)
+	counting := storage.NewCounting(storage.NewMemory())
+	if err := (ArrayStore{ImagesPerChunk: 4}).Write(ctx, counting, samples); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Puts < int64(len(samples)) {
+		t.Fatalf("puts = %d, expected >= one per sample (read-modify-write)", counting.Puts)
+	}
+	payload := int64(len(samples) * len(samples[0].Data))
+	if counting.BytesWritten < 2*payload {
+		t.Fatalf("bytes written %d vs payload %d: amplification missing", counting.BytesWritten, payload)
+	}
+}
+
+func TestWebDatasetShardsSplit(t *testing.T) {
+	ctx := context.Background()
+	store := storage.NewMemory()
+	samples := rawSamples(30)
+	if err := (WebDataset{ShardBytes: 2048}).Write(ctx, store, samples); err != nil {
+		t.Fatal(err)
+	}
+	shards, _ := store.List(ctx, "shard-")
+	if len(shards) < 2 {
+		t.Fatalf("expected multiple shards, got %v", shards)
+	}
+}
+
+func TestBetonRandomAccessUsesRanges(t *testing.T) {
+	ctx := context.Background()
+	inner := storage.NewMemory()
+	counting := storage.NewCounting(inner)
+	samples := rawSamples(16)
+	if err := (Beton{}).Write(ctx, counting, samples); err != nil {
+		t.Fatal(err)
+	}
+	counting.Gets = 0
+	counting.RangeGets = 0
+	got := collect(t, Beton{}, counting, 4)
+	if len(got) != 16 {
+		t.Fatalf("%d samples", len(got))
+	}
+	if counting.Gets != 0 {
+		t.Fatalf("beton did %d full Gets; must use range reads", counting.Gets)
+	}
+	if counting.RangeGets < 16 {
+		t.Fatalf("range gets = %d", counting.RangeGets)
+	}
+}
+
+func TestTFRecordDetectsCorruption(t *testing.T) {
+	ctx := context.Background()
+	store := storage.NewMemory()
+	if err := (TFRecord{}).Write(ctx, store, rawSamples(3)); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := store.List(ctx, "part-")
+	blob, _ := store.Get(ctx, keys[0])
+	blob[20] ^= 0xFF // flip a payload byte
+	store.Put(ctx, keys[0], blob)
+	err := (TFRecord{}).Iterate(ctx, store, 1, func(Sample) error { return nil })
+	if err == nil {
+		t.Fatal("corrupted record must fail the crc check")
+	}
+}
+
+func TestIterateErrorPropagation(t *testing.T) {
+	ctx := context.Background()
+	boom := errors.New("consumer failed")
+	for _, f := range allFormats() {
+		store := storage.NewMemory()
+		if err := f.Write(ctx, store, rawSamples(10)); err != nil {
+			t.Fatalf("%s write: %v", f.Name(), err)
+		}
+		err := f.Iterate(ctx, store, 2, func(s Sample) error {
+			if s.Index == 4 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("%s: err = %v, want consumer failure", f.Name(), err)
+		}
+	}
+}
+
+func TestMsgpackRoundTripProperty(t *testing.T) {
+	f := func(key string, blob []byte, n int32) bool {
+		var enc mpEncoder
+		enc.mapHeader(1)
+		enc.str(key)
+		enc.bin(blob)
+		enc.int(int64(n))
+		dec := mpDecoder{buf: enc.buf}
+		fields, err := dec.mapHeader()
+		if err != nil || fields != 1 {
+			return false
+		}
+		gotKey, err := dec.str()
+		if err != nil || gotKey != key {
+			return false
+		}
+		gotBlob, err := dec.bin()
+		if err != nil || !bytes.Equal(gotBlob, blob) {
+			return false
+		}
+		gotN, err := dec.int()
+		return err == nil && gotN == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgpackIntEdgeCases(t *testing.T) {
+	for _, v := range []int64{0, 1, 127, 128, -1, -32, -33, 255, 32767, -32768, 1 << 30, -(1 << 40)} {
+		var enc mpEncoder
+		enc.int(v)
+		dec := mpDecoder{buf: enc.buf}
+		got, err := dec.int()
+		if err != nil || got != v {
+			t.Errorf("int %d -> %d, %v", v, got, err)
+		}
+	}
+}
+
+func TestFormatsOnSortedIndices(t *testing.T) {
+	// Every format must deliver exactly the index set it ingested.
+	ctx := context.Background()
+	samples := rawSamples(25)
+	for _, f := range allFormats() {
+		store := storage.NewMemory()
+		if err := f.Write(ctx, store, samples); err != nil {
+			t.Fatal(err)
+		}
+		got := collect(t, f, store, 3)
+		var indices []int
+		for i := range got {
+			indices = append(indices, i)
+		}
+		sort.Ints(indices)
+		for i, idx := range indices {
+			if i != idx {
+				t.Fatalf("%s: index set broken at %d (%v)", f.Name(), i, indices[:minI(10, len(indices))])
+			}
+		}
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

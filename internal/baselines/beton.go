@@ -1,0 +1,121 @@
+package baselines
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Beton reproduces the essential layout of FFCV's .beton format: one binary
+// file with a fixed header, a full sample index table (offset, length,
+// encoding, label, shape) up front, and the sample payloads behind it. The
+// index enables random access and page-aligned parallel reads, which is why
+// FFCV loads fast locally; the cost is a single-file write path.
+type Beton struct{}
+
+// Name implements Format.
+func (Beton) Name() string { return "beton" }
+
+const (
+	betonKey     = "dataset.beton"
+	betonMagic   = "BETN"
+	betonVersion = 1
+	// betonIndexEntry is the fixed index entry size: offset(8) length(8)
+	// encoding(1) label(4) rank(1) dims(3*4).
+	betonIndexEntry = 8 + 8 + 1 + 4 + 1 + 12
+)
+
+// Write implements Format.
+func (Beton) Write(ctx context.Context, store storage.Provider, samples []Sample) error {
+	headerLen := 4 + 2 + 4
+	indexLen := len(samples) * betonIndexEntry
+	var payload int
+	for _, s := range samples {
+		payload += len(s.Data)
+	}
+	out := make([]byte, 0, headerLen+indexLen+payload)
+	out = append(out, betonMagic...)
+	out = binary.LittleEndian.AppendUint16(out, betonVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(samples)))
+	offset := uint64(headerLen + indexLen)
+	for _, s := range samples {
+		out = binary.LittleEndian.AppendUint64(out, offset)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(s.Data)))
+		enc := byte(0)
+		if s.Encoding == "jpeg" {
+			enc = 1
+		}
+		out = append(out, enc)
+		out = binary.LittleEndian.AppendUint32(out, uint32(s.Label))
+		if len(s.Shape) > 3 {
+			return fmt.Errorf("beton: rank %d unsupported", len(s.Shape))
+		}
+		out = append(out, byte(len(s.Shape)))
+		var dims [3]uint32
+		for i, d := range s.Shape {
+			dims[i] = uint32(d)
+		}
+		for _, d := range dims {
+			out = binary.LittleEndian.AppendUint32(out, d)
+		}
+		offset += uint64(len(s.Data))
+	}
+	for _, s := range samples {
+		out = append(out, s.Data...)
+	}
+	return store.Put(ctx, betonKey, out)
+}
+
+// Iterate implements Format: the index table is fetched once, then workers
+// random-access sample payloads with byte-range reads (FFCV's quasi-random
+// page loading).
+func (Beton) Iterate(ctx context.Context, store storage.Provider, workers int, fn func(Sample) error) error {
+	head, err := store.GetRange(ctx, betonKey, 0, 10)
+	if err != nil {
+		return err
+	}
+	if len(head) < 10 || string(head[:4]) != betonMagic {
+		return fmt.Errorf("beton: bad header")
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != betonVersion {
+		return fmt.Errorf("beton: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(head[6:]))
+	index, err := store.GetRange(ctx, betonKey, 10, int64(n*betonIndexEntry))
+	if err != nil {
+		return err
+	}
+	if len(index) != n*betonIndexEntry {
+		return fmt.Errorf("beton: truncated index")
+	}
+	jobs := make([]int, n)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	return runWorkers(ctx, workers, jobs, func(i int) error {
+		e := index[i*betonIndexEntry:]
+		off := binary.LittleEndian.Uint64(e)
+		length := binary.LittleEndian.Uint64(e[8:])
+		enc := "raw"
+		if e[16] == 1 {
+			enc = "jpeg"
+		}
+		label := int32(binary.LittleEndian.Uint32(e[17:]))
+		rank := int(e[21])
+		shape := make([]int, rank)
+		for k := 0; k < rank; k++ {
+			shape[k] = int(binary.LittleEndian.Uint32(e[22+k*4:]))
+		}
+		data, err := store.GetRange(ctx, betonKey, int64(off), int64(length))
+		if err != nil {
+			return err
+		}
+		s, err := decodeToRaw(Sample{Index: i, Data: data, Shape: shape, Encoding: enc, Label: label})
+		if err != nil {
+			return err
+		}
+		return fn(s)
+	})
+}

@@ -1,0 +1,116 @@
+package baselines
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// FileSample is the layout most teams start with: one object per sample
+// (img_00000042.jpg) plus a labels file, consumed by a naive per-sample
+// loader — the "native PyTorch dataloader" bar in Fig 7 and the
+// object-storage worst case in Fig 8, where per-request latency is paid
+// once per image.
+type FileSample struct{}
+
+// Name implements Format.
+func (FileSample) Name() string { return "filesample" }
+
+func fileKey(i int, encoding string) string {
+	ext := "bin"
+	if encoding == "jpeg" {
+		ext = "jpg"
+	}
+	return fmt.Sprintf("img_%08d.%s", i, ext)
+}
+
+const fileManifestKey = "manifest.bin"
+
+// Write implements Format: one PUT per sample plus a manifest holding
+// labels, shapes and encodings.
+func (FileSample) Write(ctx context.Context, store storage.Provider, samples []Sample) error {
+	manifest := binary.LittleEndian.AppendUint32(nil, uint32(len(samples)))
+	for _, s := range samples {
+		if err := store.Put(ctx, fileKey(s.Index, s.Encoding), s.Data); err != nil {
+			return err
+		}
+		manifest = binary.LittleEndian.AppendUint32(manifest, uint32(s.Index))
+		manifest = binary.LittleEndian.AppendUint32(manifest, uint32(s.Label))
+		enc := byte(0)
+		if s.Encoding == "jpeg" {
+			enc = 1
+		}
+		manifest = append(manifest, enc, byte(len(s.Shape)))
+		for _, d := range s.Shape {
+			manifest = binary.LittleEndian.AppendUint32(manifest, uint32(d))
+		}
+	}
+	return store.Put(ctx, fileManifestKey, manifest)
+}
+
+type fileEntry struct {
+	index    int
+	label    int32
+	encoding string
+	shape    []int
+}
+
+func parseManifest(blob []byte) ([]fileEntry, error) {
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("filesample: short manifest")
+	}
+	n := int(binary.LittleEndian.Uint32(blob))
+	p := 4
+	out := make([]fileEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if p+10 > len(blob) {
+			return nil, fmt.Errorf("filesample: truncated manifest")
+		}
+		e := fileEntry{
+			index: int(binary.LittleEndian.Uint32(blob[p:])),
+			label: int32(binary.LittleEndian.Uint32(blob[p+4:])),
+		}
+		e.encoding = "raw"
+		if blob[p+8] == 1 {
+			e.encoding = "jpeg"
+		}
+		rank := int(blob[p+9])
+		p += 10
+		if p+rank*4 > len(blob) {
+			return nil, fmt.Errorf("filesample: truncated shape")
+		}
+		e.shape = make([]int, rank)
+		for k := range e.shape {
+			e.shape[k] = int(binary.LittleEndian.Uint32(blob[p:]))
+			p += 4
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Iterate implements Format: workers fetch one object per sample — the
+// request-per-image pattern whose latency cost §2.3 describes.
+func (FileSample) Iterate(ctx context.Context, store storage.Provider, workers int, fn func(Sample) error) error {
+	blob, err := store.Get(ctx, fileManifestKey)
+	if err != nil {
+		return err
+	}
+	entries, err := parseManifest(blob)
+	if err != nil {
+		return err
+	}
+	return runWorkers(ctx, workers, entries, func(e fileEntry) error {
+		data, err := store.Get(ctx, fileKey(e.index, e.encoding))
+		if err != nil {
+			return err
+		}
+		s, err := decodeToRaw(Sample{Index: e.index, Data: data, Shape: e.shape, Encoding: e.encoding, Label: e.label})
+		if err != nil {
+			return err
+		}
+		return fn(s)
+	})
+}

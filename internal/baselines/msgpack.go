@@ -1,0 +1,268 @@
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Minimal MessagePack encoder/decoder covering the types Squirrel-style
+// sample dicts need: maps with string keys, strings, binary blobs, signed
+// integers and arrays of integers. Implemented from the MessagePack spec.
+
+// mpEncoder appends MessagePack values to a buffer.
+type mpEncoder struct {
+	buf []byte
+}
+
+func (e *mpEncoder) mapHeader(n int) {
+	switch {
+	case n <= 15:
+		e.buf = append(e.buf, 0x80|byte(n))
+	case n <= math.MaxUint16:
+		e.buf = append(e.buf, 0xde)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(n))
+	default:
+		e.buf = append(e.buf, 0xdf)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(n))
+	}
+}
+
+func (e *mpEncoder) arrayHeader(n int) {
+	switch {
+	case n <= 15:
+		e.buf = append(e.buf, 0x90|byte(n))
+	case n <= math.MaxUint16:
+		e.buf = append(e.buf, 0xdc)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(n))
+	default:
+		e.buf = append(e.buf, 0xdd)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(n))
+	}
+}
+
+func (e *mpEncoder) str(s string) {
+	n := len(s)
+	switch {
+	case n <= 31:
+		e.buf = append(e.buf, 0xa0|byte(n))
+	case n <= math.MaxUint8:
+		e.buf = append(e.buf, 0xd9, byte(n))
+	case n <= math.MaxUint16:
+		e.buf = append(e.buf, 0xda)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(n))
+	default:
+		e.buf = append(e.buf, 0xdb)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(n))
+	}
+	e.buf = append(e.buf, s...)
+}
+
+func (e *mpEncoder) bin(b []byte) {
+	n := len(b)
+	switch {
+	case n <= math.MaxUint8:
+		e.buf = append(e.buf, 0xc4, byte(n))
+	case n <= math.MaxUint16:
+		e.buf = append(e.buf, 0xc5)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(n))
+	default:
+		e.buf = append(e.buf, 0xc6)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(n))
+	}
+	e.buf = append(e.buf, b...)
+}
+
+func (e *mpEncoder) int(v int64) {
+	switch {
+	case v >= 0 && v <= 127:
+		e.buf = append(e.buf, byte(v))
+	case v < 0 && v >= -32:
+		e.buf = append(e.buf, byte(v))
+	case v >= math.MinInt8 && v <= math.MaxInt8:
+		e.buf = append(e.buf, 0xd0, byte(v))
+	case v >= math.MinInt16 && v <= math.MaxInt16:
+		e.buf = append(e.buf, 0xd1)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(v))
+	case v >= math.MinInt32 && v <= math.MaxInt32:
+		e.buf = append(e.buf, 0xd2)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(v))
+	default:
+		e.buf = append(e.buf, 0xd3)
+		e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(v))
+	}
+}
+
+// mpDecoder reads MessagePack values from a buffer.
+type mpDecoder struct {
+	buf []byte
+	p   int
+}
+
+var errMsgpack = fmt.Errorf("msgpack: malformed data")
+
+func (d *mpDecoder) byteAt() (byte, error) {
+	if d.p >= len(d.buf) {
+		return 0, errMsgpack
+	}
+	b := d.buf[d.p]
+	d.p++
+	return b, nil
+}
+
+func (d *mpDecoder) take(n int) ([]byte, error) {
+	if n < 0 || d.p+n > len(d.buf) {
+		return nil, errMsgpack
+	}
+	out := d.buf[d.p : d.p+n]
+	d.p += n
+	return out, nil
+}
+
+func (d *mpDecoder) mapHeader() (int, error) {
+	b, err := d.byteAt()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case b&0xf0 == 0x80:
+		return int(b & 0x0f), nil
+	case b == 0xde:
+		raw, err := d.take(2)
+		if err != nil {
+			return 0, err
+		}
+		return int(binary.BigEndian.Uint16(raw)), nil
+	case b == 0xdf:
+		raw, err := d.take(4)
+		if err != nil {
+			return 0, err
+		}
+		return int(binary.BigEndian.Uint32(raw)), nil
+	}
+	return 0, errMsgpack
+}
+
+func (d *mpDecoder) arrayHeader() (int, error) {
+	b, err := d.byteAt()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case b&0xf0 == 0x90:
+		return int(b & 0x0f), nil
+	case b == 0xdc:
+		raw, err := d.take(2)
+		if err != nil {
+			return 0, err
+		}
+		return int(binary.BigEndian.Uint16(raw)), nil
+	case b == 0xdd:
+		raw, err := d.take(4)
+		if err != nil {
+			return 0, err
+		}
+		return int(binary.BigEndian.Uint32(raw)), nil
+	}
+	return 0, errMsgpack
+}
+
+func (d *mpDecoder) str() (string, error) {
+	b, err := d.byteAt()
+	if err != nil {
+		return "", err
+	}
+	var n int
+	switch {
+	case b&0xe0 == 0xa0:
+		n = int(b & 0x1f)
+	case b == 0xd9:
+		l, err := d.byteAt()
+		if err != nil {
+			return "", err
+		}
+		n = int(l)
+	case b == 0xda:
+		raw, err := d.take(2)
+		if err != nil {
+			return "", err
+		}
+		n = int(binary.BigEndian.Uint16(raw))
+	case b == 0xdb:
+		raw, err := d.take(4)
+		if err != nil {
+			return "", err
+		}
+		n = int(binary.BigEndian.Uint32(raw))
+	default:
+		return "", errMsgpack
+	}
+	raw, err := d.take(n)
+	return string(raw), err
+}
+
+func (d *mpDecoder) bin() ([]byte, error) {
+	b, err := d.byteAt()
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	switch b {
+	case 0xc4:
+		l, err := d.byteAt()
+		if err != nil {
+			return nil, err
+		}
+		n = int(l)
+	case 0xc5:
+		raw, err := d.take(2)
+		if err != nil {
+			return nil, err
+		}
+		n = int(binary.BigEndian.Uint16(raw))
+	case 0xc6:
+		raw, err := d.take(4)
+		if err != nil {
+			return nil, err
+		}
+		n = int(binary.BigEndian.Uint32(raw))
+	default:
+		return nil, errMsgpack
+	}
+	return d.take(n)
+}
+
+func (d *mpDecoder) int() (int64, error) {
+	b, err := d.byteAt()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case b <= 0x7f: // positive fixint
+		return int64(b), nil
+	case b >= 0xe0: // negative fixint
+		return int64(int8(b)), nil
+	case b == 0xd0:
+		v, err := d.byteAt()
+		return int64(int8(v)), err
+	case b == 0xd1:
+		raw, err := d.take(2)
+		if err != nil {
+			return 0, err
+		}
+		return int64(int16(binary.BigEndian.Uint16(raw))), nil
+	case b == 0xd2:
+		raw, err := d.take(4)
+		if err != nil {
+			return 0, err
+		}
+		return int64(int32(binary.BigEndian.Uint32(raw))), nil
+	case b == 0xd3:
+		raw, err := d.take(8)
+		if err != nil {
+			return 0, err
+		}
+		return int64(binary.BigEndian.Uint64(raw)), nil
+	}
+	return 0, errMsgpack
+}

@@ -1,0 +1,194 @@
+package baselines
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// ParquetLite reproduces the essential layout of a Parquet-style columnar
+// file for the comparison in §7.1-§7.2: row groups, per-column chunks
+// (image bytes as a byte-array column with length prefixes, labels as a
+// plain int32 column), and a footer holding row-group offsets, read last.
+// Parquet shines on small analytic cells; storing megabyte media samples in
+// a byte-array column forces whole-row-group reads and loses the
+// sub-sample addressing the Tensor Storage Format provides — the paper's
+// "Parquet is optimized for small cells" observation.
+type ParquetLite struct {
+	// RowsPerGroup sets row-group granularity (default 64).
+	RowsPerGroup int
+}
+
+// Name implements Format.
+func (ParquetLite) Name() string { return "parquet-lite" }
+
+func (p ParquetLite) perGroup() int {
+	if p.RowsPerGroup <= 0 {
+		return 64
+	}
+	return p.RowsPerGroup
+}
+
+const (
+	parquetKey   = "dataset.parq"
+	parquetMagic = "PQL1"
+)
+
+// Write implements Format: one object with row groups then a footer.
+func (p ParquetLite) Write(ctx context.Context, store storage.Provider, samples []Sample) error {
+	var body []byte
+	type groupMeta struct {
+		offset, length uint64
+		rows           uint32
+	}
+	var groups []groupMeta
+
+	for start := 0; start < len(samples); start += p.perGroup() {
+		end := start + p.perGroup()
+		if end > len(samples) {
+			end = len(samples)
+		}
+		groupStart := len(body)
+		// Column 1: image byte-array (length-prefixed values).
+		for _, s := range samples[start:end] {
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(s.Data)))
+			enc := byte(0)
+			if s.Encoding == "jpeg" {
+				enc = 1
+			}
+			body = append(body, enc, byte(len(s.Shape)))
+			for _, d := range s.Shape {
+				body = binary.LittleEndian.AppendUint32(body, uint32(d))
+			}
+			body = append(body, s.Data...)
+		}
+		// Column 2: labels, plain int32.
+		for _, s := range samples[start:end] {
+			body = binary.LittleEndian.AppendUint32(body, uint32(s.Label))
+		}
+		groups = append(groups, groupMeta{
+			offset: uint64(groupStart),
+			length: uint64(len(body) - groupStart),
+			rows:   uint32(end - start),
+		})
+	}
+	// Footer: group directory + magic trailer (read last, like Parquet).
+	footerStart := len(body)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(groups)))
+	for _, g := range groups {
+		body = binary.LittleEndian.AppendUint64(body, g.offset)
+		body = binary.LittleEndian.AppendUint64(body, g.length)
+		body = binary.LittleEndian.AppendUint32(body, g.rows)
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(body)-footerStart))
+	body = append(body, parquetMagic...)
+	return store.Put(ctx, parquetKey, body)
+}
+
+// Iterate implements Format: footer first, then row groups in parallel.
+func (p ParquetLite) Iterate(ctx context.Context, store storage.Provider, workers int, fn func(Sample) error) error {
+	size, err := store.Size(ctx, parquetKey)
+	if err != nil {
+		return err
+	}
+	if size < 8 {
+		return fmt.Errorf("parquet-lite: file too small")
+	}
+	trailer, err := store.GetRange(ctx, parquetKey, size-8, 8)
+	if err != nil {
+		return err
+	}
+	if string(trailer[4:]) != parquetMagic {
+		return fmt.Errorf("parquet-lite: bad magic")
+	}
+	footerLen := int64(binary.LittleEndian.Uint32(trailer))
+	footer, err := store.GetRange(ctx, parquetKey, size-8-footerLen, footerLen)
+	if err != nil {
+		return err
+	}
+	if len(footer) < 4 {
+		return fmt.Errorf("parquet-lite: truncated footer")
+	}
+	nGroups := int(binary.LittleEndian.Uint32(footer))
+	if len(footer) != 4+nGroups*20 {
+		return fmt.Errorf("parquet-lite: footer length mismatch")
+	}
+	type group struct {
+		index          int
+		offset, length uint64
+		rows           int
+	}
+	groups := make([]group, nGroups)
+	for i := range groups {
+		e := footer[4+i*20:]
+		groups[i] = group{
+			index:  i,
+			offset: binary.LittleEndian.Uint64(e),
+			length: binary.LittleEndian.Uint64(e[8:]),
+			rows:   int(binary.LittleEndian.Uint32(e[16:])),
+		}
+	}
+	rowBase := make([]int, nGroups)
+	for i := 1; i < nGroups; i++ {
+		rowBase[i] = rowBase[i-1] + groups[i-1].rows
+	}
+	return runWorkers(ctx, workers, groups, func(g group) error {
+		blob, err := store.GetRange(ctx, parquetKey, int64(g.offset), int64(g.length))
+		if err != nil {
+			return err
+		}
+		// Decode image column.
+		type cell struct {
+			data     []byte
+			shape    []int
+			encoding string
+		}
+		cells := make([]cell, 0, g.rows)
+		pos := 0
+		for r := 0; r < g.rows; r++ {
+			if pos+6 > len(blob) {
+				return fmt.Errorf("parquet-lite: truncated group")
+			}
+			n := int(binary.LittleEndian.Uint32(blob[pos:]))
+			enc := "raw"
+			if blob[pos+4] == 1 {
+				enc = "jpeg"
+			}
+			rank := int(blob[pos+5])
+			pos += 6
+			shape := make([]int, rank)
+			for k := range shape {
+				shape[k] = int(binary.LittleEndian.Uint32(blob[pos:]))
+				pos += 4
+			}
+			if pos+n > len(blob) {
+				return fmt.Errorf("parquet-lite: truncated value")
+			}
+			cells = append(cells, cell{data: blob[pos : pos+n], shape: shape, encoding: enc})
+			pos += n
+		}
+		// Label column.
+		if pos+4*g.rows > len(blob) {
+			return fmt.Errorf("parquet-lite: truncated labels")
+		}
+		for r := 0; r < g.rows; r++ {
+			label := int32(binary.LittleEndian.Uint32(blob[pos+r*4:]))
+			s, err := decodeToRaw(Sample{
+				Index:    rowBase[g.index] + r,
+				Data:     cells[r].data,
+				Shape:    cells[r].shape,
+				Encoding: cells[r].encoding,
+				Label:    label,
+			})
+			if err != nil {
+				return err
+			}
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

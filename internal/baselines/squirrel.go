@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Squirrel reproduces squirrel-core's layout: shards of MessagePack-encoded
+// sample dictionaries ({"image": bin, "label": int, ...}), streamed shard
+// by shard. Self-describing per-sample encoding buys flexibility at the
+// cost of per-field framing overhead versus fixed-layout formats.
+type Squirrel struct {
+	// SamplesPerShard sets the shard granularity (default 256).
+	SamplesPerShard int
+}
+
+// Name implements Format.
+func (Squirrel) Name() string { return "squirrel" }
+
+func (s Squirrel) perShard() int {
+	if s.SamplesPerShard <= 0 {
+		return 256
+	}
+	return s.SamplesPerShard
+}
+
+func squirrelKey(i int) string { return fmt.Sprintf("sq-shard-%06d.msgpack", i) }
+
+// Write implements Format.
+func (s Squirrel) Write(ctx context.Context, store storage.Provider, samples []Sample) error {
+	var enc mpEncoder
+	shard := 0
+	inShard := 0
+	flush := func() error {
+		if inShard == 0 {
+			return nil
+		}
+		if err := store.Put(ctx, squirrelKey(shard), enc.buf); err != nil {
+			return err
+		}
+		shard++
+		enc = mpEncoder{}
+		inShard = 0
+		return nil
+	}
+	for _, smp := range samples {
+		enc.mapHeader(5)
+		enc.str("image")
+		enc.bin(smp.Data)
+		enc.str("label")
+		enc.int(int64(smp.Label))
+		enc.str("index")
+		enc.int(int64(smp.Index))
+		enc.str("encoding")
+		enc.str(smp.Encoding)
+		enc.str("shape")
+		enc.arrayHeader(len(smp.Shape))
+		for _, d := range smp.Shape {
+			enc.int(int64(d))
+		}
+		inShard++
+		if inShard >= s.perShard() {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// Iterate implements Format.
+func (s Squirrel) Iterate(ctx context.Context, store storage.Provider, workers int, fn func(Sample) error) error {
+	shards, err := store.List(ctx, "sq-shard-")
+	if err != nil {
+		return err
+	}
+	return runWorkers(ctx, workers, shards, func(key string) error {
+		blob, err := store.Get(ctx, key)
+		if err != nil {
+			return err
+		}
+		dec := mpDecoder{buf: blob}
+		for dec.p < len(dec.buf) {
+			nFields, err := dec.mapHeader()
+			if err != nil {
+				return err
+			}
+			var smp Sample
+			for f := 0; f < nFields; f++ {
+				field, err := dec.str()
+				if err != nil {
+					return err
+				}
+				switch field {
+				case "image":
+					smp.Data, err = dec.bin()
+				case "label":
+					var v int64
+					v, err = dec.int()
+					smp.Label = int32(v)
+				case "index":
+					var v int64
+					v, err = dec.int()
+					smp.Index = int(v)
+				case "encoding":
+					smp.Encoding, err = dec.str()
+				case "shape":
+					var n int
+					n, err = dec.arrayHeader()
+					if err != nil {
+						return err
+					}
+					smp.Shape = make([]int, n)
+					for i := 0; i < n; i++ {
+						var v int64
+						v, err = dec.int()
+						if err != nil {
+							return err
+						}
+						smp.Shape[i] = int(v)
+					}
+				default:
+					return fmt.Errorf("squirrel: unknown field %q", field)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			out, err := decodeToRaw(smp)
+			if err != nil {
+				return err
+			}
+			if err := fn(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

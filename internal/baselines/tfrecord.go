@@ -1,0 +1,163 @@
+package baselines
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/storage"
+)
+
+// TFRecord reproduces TensorFlow's record stream: length-prefixed records
+// with masked CRC32-C checksums over both the length and the payload,
+// written as a handful of sequential record files. Records hold a minimal
+// feature encoding (image bytes, shape, encoding flag, label) standing in
+// for the protobuf Example message.
+type TFRecord struct {
+	// RecordsPerFile splits the stream (default 1024).
+	RecordsPerFile int
+}
+
+// Name implements Format.
+func (TFRecord) Name() string { return "tfrecord" }
+
+func (t TFRecord) perFile() int {
+	if t.RecordsPerFile <= 0 {
+		return 1024
+	}
+	return t.RecordsPerFile
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maskedCRC implements TFRecord's masked checksum.
+func maskedCRC(data []byte) uint32 {
+	c := crc32.Checksum(data, castagnoli)
+	return ((c >> 15) | (c << 17)) + 0xa282ead8
+}
+
+func tfrecordKey(i int) string { return fmt.Sprintf("part-%05d.tfrecord", i) }
+
+// encodeExample packs a sample into the mini-Example payload.
+func encodeExample(s Sample) []byte {
+	out := make([]byte, 0, len(s.Data)+32)
+	enc := byte(0)
+	if s.Encoding == "jpeg" {
+		enc = 1
+	}
+	out = append(out, enc)
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.Label))
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.Index))
+	out = append(out, byte(len(s.Shape)))
+	for _, d := range s.Shape {
+		out = binary.LittleEndian.AppendUint32(out, uint32(d))
+	}
+	return append(out, s.Data...)
+}
+
+func decodeExample(payload []byte) (Sample, error) {
+	if len(payload) < 10 {
+		return Sample{}, fmt.Errorf("tfrecord: short example")
+	}
+	s := Sample{Encoding: "raw"}
+	if payload[0] == 1 {
+		s.Encoding = "jpeg"
+	}
+	s.Label = int32(binary.LittleEndian.Uint32(payload[1:]))
+	s.Index = int(binary.LittleEndian.Uint32(payload[5:]))
+	rank := int(payload[9])
+	p := 10
+	if len(payload) < p+rank*4 {
+		return Sample{}, fmt.Errorf("tfrecord: truncated shape")
+	}
+	s.Shape = make([]int, rank)
+	for i := range s.Shape {
+		s.Shape[i] = int(binary.LittleEndian.Uint32(payload[p:]))
+		p += 4
+	}
+	s.Data = payload[p:]
+	return s, nil
+}
+
+// Write implements Format.
+func (t TFRecord) Write(ctx context.Context, store storage.Provider, samples []Sample) error {
+	var out []byte
+	file := 0
+	inFile := 0
+	flush := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		if err := store.Put(ctx, tfrecordKey(file), out); err != nil {
+			return err
+		}
+		file++
+		out = nil
+		inFile = 0
+		return nil
+	}
+	var lenBuf [8]byte
+	for _, s := range samples {
+		payload := encodeExample(s)
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(payload)))
+		out = append(out, lenBuf[:]...)
+		out = binary.LittleEndian.AppendUint32(out, maskedCRC(lenBuf[:]))
+		out = append(out, payload...)
+		out = binary.LittleEndian.AppendUint32(out, maskedCRC(payload))
+		inFile++
+		if inFile >= t.perFile() {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// Iterate implements Format: record files stream sequentially across
+// workers; every checksum is verified, as TensorFlow's reader does.
+func (t TFRecord) Iterate(ctx context.Context, store storage.Provider, workers int, fn func(Sample) error) error {
+	files, err := store.List(ctx, "part-")
+	if err != nil {
+		return err
+	}
+	return runWorkers(ctx, workers, files, func(key string) error {
+		blob, err := store.Get(ctx, key)
+		if err != nil {
+			return err
+		}
+		p := 0
+		for p < len(blob) {
+			if p+12 > len(blob) {
+				return fmt.Errorf("tfrecord: truncated length header")
+			}
+			lenBytes := blob[p : p+8]
+			n := int(binary.LittleEndian.Uint64(lenBytes))
+			if crc := binary.LittleEndian.Uint32(blob[p+8:]); crc != maskedCRC(lenBytes) {
+				return fmt.Errorf("tfrecord: length crc mismatch")
+			}
+			p += 12
+			if p+n+4 > len(blob) {
+				return fmt.Errorf("tfrecord: truncated record")
+			}
+			payload := blob[p : p+n]
+			if crc := binary.LittleEndian.Uint32(blob[p+n:]); crc != maskedCRC(payload) {
+				return fmt.Errorf("tfrecord: payload crc mismatch")
+			}
+			p += n + 4
+			s, err := decodeExample(payload)
+			if err != nil {
+				return err
+			}
+			s, err = decodeToRaw(s)
+			if err != nil {
+				return err
+			}
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

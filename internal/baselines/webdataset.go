@@ -1,0 +1,201 @@
+package baselines
+
+import (
+	"archive/tar"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// WebDataset reproduces the WebDataset layout: POSIX tar shards whose
+// members pair each sample's media file with sidecar files sharing the
+// basename (000001.jpg + 000001.cls). Loaders stream whole shards
+// sequentially, which is why WebDataset ingests fast and streams well but
+// cannot random-access without an external index.
+type WebDataset struct {
+	// ShardBytes is the target shard size (default 64MB).
+	ShardBytes int
+	// NoDecode skips media decoding during iteration, isolating the
+	// storage path (used by the Fig 8 harness).
+	NoDecode bool
+}
+
+// Name implements Format.
+func (w WebDataset) Name() string { return "webdataset" }
+
+func (w WebDataset) shardBytes() int {
+	if w.ShardBytes <= 0 {
+		return 64 << 20
+	}
+	return w.ShardBytes
+}
+
+func shardKey(i int) string { return fmt.Sprintf("shard-%06d.tar", i) }
+
+// Write implements Format.
+func (w WebDataset) Write(ctx context.Context, store storage.Provider, samples []Sample) error {
+	var (
+		buf   bytes.Buffer
+		tw    = tar.NewWriter(&buf)
+		shard = 0
+	)
+	flush := func() error {
+		if buf.Len() == 0 {
+			return nil
+		}
+		if err := tw.Close(); err != nil {
+			return err
+		}
+		if err := store.Put(ctx, shardKey(shard), buf.Bytes()); err != nil {
+			return err
+		}
+		shard++
+		buf = bytes.Buffer{}
+		tw = tar.NewWriter(&buf)
+		return nil
+	}
+	for _, s := range samples {
+		ext := "bin"
+		if s.Encoding == "jpeg" {
+			ext = "jpg"
+		}
+		base := fmt.Sprintf("%08d", s.Index)
+		payload := s.Data
+		if err := writeTarFile(tw, base+"."+ext, payload); err != nil {
+			return err
+		}
+		if err := writeTarFile(tw, base+".cls", []byte(strconv.Itoa(int(s.Label)))); err != nil {
+			return err
+		}
+		if s.Encoding != "jpeg" {
+			// Raw samples need a shape sidecar to be recoverable.
+			if err := writeTarFile(tw, base+".shape", encodeShape(s.Shape)); err != nil {
+				return err
+			}
+		}
+		if buf.Len() >= w.shardBytes() {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+func writeTarFile(tw *tar.Writer, name string, data []byte) error {
+	if err := tw.WriteHeader(&tar.Header{Name: name, Mode: 0o644, Size: int64(len(data))}); err != nil {
+		return err
+	}
+	_, err := tw.Write(data)
+	return err
+}
+
+func encodeShape(shape []int) []byte {
+	out := make([]byte, 0, 1+len(shape)*4)
+	out = append(out, byte(len(shape)))
+	for _, d := range shape {
+		out = binary.LittleEndian.AppendUint32(out, uint32(d))
+	}
+	return out
+}
+
+func decodeShape(data []byte) ([]int, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("webdataset: empty shape sidecar")
+	}
+	n := int(data[0])
+	if len(data) != 1+n*4 {
+		return nil, fmt.Errorf("webdataset: bad shape sidecar length %d", len(data))
+	}
+	shape := make([]int, n)
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(data[1+i*4:]))
+	}
+	return shape, nil
+}
+
+// Iterate implements Format: shards are distributed across workers and each
+// shard is streamed front to back, the WebDataset iteration model.
+func (w WebDataset) Iterate(ctx context.Context, store storage.Provider, workers int, fn func(Sample) error) error {
+	shards, err := store.List(ctx, "shard-")
+	if err != nil {
+		return err
+	}
+	return runWorkers(ctx, workers, shards, func(key string) error {
+		blob, err := store.Get(ctx, key)
+		if err != nil {
+			return err
+		}
+		tr := tar.NewReader(bytes.NewReader(blob))
+		var cur Sample
+		curBase := ""
+		emit := func() error {
+			if curBase == "" {
+				return nil
+			}
+			if w.NoDecode {
+				return fn(cur)
+			}
+			s, err := decodeToRaw(cur)
+			if err != nil {
+				return err
+			}
+			return fn(s)
+		}
+		for {
+			hdr, err := tr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			dot := strings.LastIndexByte(hdr.Name, '.')
+			if dot < 0 {
+				continue
+			}
+			base, ext := hdr.Name[:dot], hdr.Name[dot+1:]
+			if base != curBase {
+				if err := emit(); err != nil {
+					return err
+				}
+				cur = Sample{}
+				curBase = base
+				if idx, err := strconv.Atoi(base); err == nil {
+					cur.Index = idx
+				}
+			}
+			data, err := io.ReadAll(tr)
+			if err != nil {
+				return err
+			}
+			switch ext {
+			case "jpg":
+				cur.Data = data
+				cur.Encoding = "jpeg"
+			case "bin":
+				cur.Data = data
+				cur.Encoding = "raw"
+			case "shape":
+				shape, err := decodeShape(data)
+				if err != nil {
+					return err
+				}
+				cur.Shape = shape
+			case "cls":
+				v, err := strconv.Atoi(string(data))
+				if err != nil {
+					return err
+				}
+				cur.Label = int32(v)
+			}
+		}
+		return emit()
+	})
+}

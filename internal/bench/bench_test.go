@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tiny configs keep the full figure suite runnable inside go test.
+func tiny() Config { return Config{N: 24, Workers: 4, ImageSide: 48, Seed: 3} }
+
+func TestFig6ShapeHolds(t *testing.T) {
+	// Large enough that the array formats' write amplification shows
+	// through the CPU noise floor.
+	res, err := Fig6Ingestion(context.Background(), Config{N: 16, Workers: 4, ImageSide: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	dl, ok := res.Value("deeplake")
+	if !ok {
+		t.Fatal("deeplake row missing")
+	}
+	zarr, _ := res.Value("zarr")
+	// The deterministic mechanism behind the paper's headline: static
+	// array formats pay heavy write amplification for ragged appends.
+	dlMB := mbWritten(t, res, "deeplake")
+	zarrMB := mbWritten(t, res, "zarr")
+	n5MB := mbWritten(t, res, "n5")
+	if zarrMB < dlMB*2 || n5MB < dlMB*2 {
+		t.Fatalf("array formats wrote %.1f/%.1f MB vs deeplake %.1f MB; expected >= 2x amplification", zarrMB, n5MB, dlMB)
+	}
+	// Loose timing sanity (tight ordering is asserted at full benchfig
+	// scale, where IO dominates CPU jitter).
+	if dl > 2*zarr {
+		t.Fatalf("deeplake %.3fs should not be 2x slower than zarr %.3fs", dl, zarr)
+	}
+	if !strings.Contains(res.Format(), "fig6") {
+		t.Fatal("formatted output missing id")
+	}
+}
+
+// mbWritten parses the "X.Y MB written" annotation of a fig6 row.
+func mbWritten(t *testing.T, res *Result, name string) float64 {
+	t.Helper()
+	for _, row := range res.Rows {
+		if row.Name == name {
+			var mb float64
+			if _, err := fmt.Sscanf(row.Extra, "%f MB written", &mb); err != nil {
+				t.Fatalf("cannot parse extra %q: %v", row.Extra, err)
+			}
+			return mb
+		}
+	}
+	t.Fatalf("row %q missing", name)
+	return 0
+}
+
+func TestFig7ShapeHolds(t *testing.T) {
+	res, err := Fig7LocalLoaders(context.Background(), Config{N: 64, Workers: 4, ImageSide: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Value <= 0 {
+			t.Fatalf("%s throughput %.1f", row.Name, row.Value)
+		}
+	}
+}
+
+func TestFig8ShapeHolds(t *testing.T) {
+	// Payload must be large enough that bandwidth (not request latency)
+	// dominates, as in the paper's 50k-image setup; tiny payloads would
+	// flip the MinIO/S3 ordering because MinIO has lower latency.
+	res, err := Fig8StorageLocations(context.Background(), Config{N: 600, Workers: 8, ImageSide: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	dlLocal, _ := res.Value("deeplake/local")
+	dlS3, _ := res.Value("deeplake/s3")
+	dlMinio, _ := res.Value("deeplake/minio-lan")
+	// Headline: S3 streaming close to local (prefetch hides latency; at
+	// this reduced scale "close" means within a small absolute gap), and
+	// MinIO LAN slower than S3 (bandwidth bound).
+	if dlS3 > dlLocal+0.3 {
+		t.Fatalf("deeplake s3 %.3fs too far from local %.3fs", dlS3, dlLocal)
+	}
+	if dlMinio <= dlS3 {
+		t.Fatalf("minio %.3fs should be slower than s3 %.3fs (1GbE bottleneck)", dlMinio, dlS3)
+	}
+}
+
+func TestFig9ShapeHolds(t *testing.T) {
+	res, err := Fig9ImageNetCloud(context.Background(), Config{N: 64, Workers: 8, ImageSide: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _ := res.Value("local")
+	stream, _ := res.Value("deeplake-stream")
+	fileMode, _ := res.Value("aws-file-mode")
+	fastFile, _ := res.Value("aws-fast-file-mode")
+	if local <= 0 || stream <= 0 || fileMode <= 0 || fastFile <= 0 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	// Headline: streaming ~ local; file mode pays the copy phase.
+	if stream > local*3 {
+		t.Fatalf("deeplake-stream %.2fs too far from local %.2fs", stream, local)
+	}
+	if fileMode <= stream {
+		t.Fatalf("file mode %.2fs should exceed streaming %.2fs", fileMode, stream)
+	}
+}
+
+func TestFig10ShapeHolds(t *testing.T) {
+	res, err := Fig10DistributedCLIP(context.Background(), Config{N: 512, Workers: 4, ImageSide: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, ok := res.Value("mean-gpu-utilization")
+	if !ok || util < 40 || util > 100 {
+		t.Fatalf("mean utilization = %.1f%%", util)
+	}
+	agg, ok := res.Value("aggregate-throughput")
+	if !ok || agg <= 0 {
+		t.Fatalf("aggregate throughput = %v", agg)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	ctx := context.Background()
+	t.Run("chunksize", func(t *testing.T) {
+		res, err := AblationChunkSize(ctx, Config{N: 32, Workers: 4, ImageSide: 48})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+	})
+	t.Run("shufflebuffer", func(t *testing.T) {
+		res, err := AblationShuffleBuffer(ctx, Config{N: 128, Workers: 4, ImageSide: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+	})
+	t.Run("workers", func(t *testing.T) {
+		res, err := AblationWorkers(ctx, Config{N: 64, Workers: 4, ImageSide: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+	})
+	t.Run("sparseviews", func(t *testing.T) {
+		res, err := AblationSparseViews(ctx, Config{N: 200, Workers: 4, ImageSide: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Assert on the mechanism (bytes moved), which is deterministic,
+		// rather than wall time, which jitters under instrumentation.
+		sparseB, _ := res.Value("sparse-view-bytes")
+		denseB, _ := res.Value("materialized-view-bytes")
+		if denseB >= sparseB {
+			t.Fatalf("materialized view moved %.2fMB >= sparse %.2fMB", denseB, sparseB)
+		}
+	})
+	t.Run("cache", func(t *testing.T) {
+		res, err := AblationCacheEpochs(ctx, Config{N: 128, Workers: 4, ImageSide: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, _ := res.Value("epoch-1")
+		e2, _ := res.Value("epoch-2")
+		if e2 >= e1 {
+			t.Fatalf("cached epoch 2 (%.3fs) should beat cold epoch 1 (%.3fs)", e2, e1)
+		}
+	})
+	t.Run("versiondepth", func(t *testing.T) {
+		res, err := AblationVersionDepth(ctx, Config{N: 32, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+		// Open latency grows with depth.
+		d1, _ := res.Value("depth-1")
+		d64, _ := res.Value("depth-64")
+		if d64 <= d1 {
+			t.Logf("warning: open(depth-64)=%.2fms <= open(depth-1)=%.2fms", d64, d1)
+		}
+	})
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Better: "lower", Rows: []Row{
+		{Name: "b", Value: 2, Unit: "s"},
+		{Name: "a", Value: 1, Unit: "s"},
+	}}
+	sorted := r.Sorted()
+	if sorted[0].Name != "a" {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	if _, ok := r.Value("zz"); ok {
+		t.Fatal("missing row should not resolve")
+	}
+}

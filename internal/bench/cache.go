@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/dataloader"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// AblationCacheEpochs measures the §3.6 provider chain: an LRU cache of a
+// remote S3 store. Epoch 1 populates the cache over the network; epoch 2
+// should run at near-local speed with almost no origin traffic.
+func AblationCacheEpochs(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults(600)
+	samples, err := jpegSampleSet(cfg, workload.Small250())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "ablation-cache", Title: "LRU cache chained over S3: epoch 1 vs epoch 2", Better: "lower"}
+	res.Notes = append(res.Notes, "provider chain = LRU(memory) -> simulated S3 at real-time IO scale (§3.6)")
+
+	profile := simnet.S3SameRegion()
+	profile.TimeScale = 1
+	origin := storage.NewSimObjectStore(profile)
+	counting := storage.NewCounting(origin)
+	if _, err := ingestDeepLake(ctx, counting, samples, chunk.DefaultBounds()); err != nil {
+		return nil, err
+	}
+	cached := storage.NewLRU(counting, 1<<30)
+	ds, err := core.Open(ctx, cached)
+	if err != nil {
+		return nil, err
+	}
+	for epoch := 1; epoch <= 2; epoch++ {
+		counting.Gets = 0
+		counting.RangeGets = 0
+		l := dataloader.ForDataset(ds, dataloader.Options{
+			BatchSize: 32, Workers: cfg.Workers, RawBytes: true,
+		})
+		n := 0
+		start := time.Now()
+		for b := range l.Batches(ctx) {
+			n += len(b.Samples)
+		}
+		if err := l.Err(); err != nil {
+			return nil, err
+		}
+		if n != cfg.N {
+			return nil, fmt.Errorf("cache epoch %d delivered %d/%d", epoch, n, cfg.N)
+		}
+		res.Rows = append(res.Rows, Row{
+			Name:  fmt.Sprintf("epoch-%d", epoch),
+			Value: time.Since(start).Seconds(), Unit: "s",
+			Extra: fmt.Sprintf("%d origin requests", counting.Requests()),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,229 @@
+// Package chunk implements the on-storage chunk format of the Tensor
+// Storage Format (§3.4): binary blobs holding a directory of sample byte
+// ranges and shapes followed by the sample payloads. Chunks are sized
+// between a lower and an upper bound so they stay in the range optimal for
+// streaming while accommodating mixed-shape samples; samples larger than the
+// upper bound are tiled across spatial dimensions by the layer above.
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Format constants.
+const (
+	// Magic identifies a chunk blob.
+	Magic = "DLCH"
+	// FormatVersion is bumped on incompatible layout changes.
+	FormatVersion = 1
+
+	// DefaultTargetBytes is the paper's default chunk size (§3.5: "the
+	// default chunk size is 8MB").
+	DefaultTargetBytes = 8 << 20
+	// DefaultMinBytes is the lower bound: a chunk may close once it holds
+	// at least this much payload.
+	DefaultMinBytes = DefaultTargetBytes / 2
+	// DefaultMaxBytes is the upper bound: appending must not push a chunk
+	// past this size; larger samples are tiled.
+	DefaultMaxBytes = DefaultTargetBytes * 2
+)
+
+// Sample is one entry in a chunk: the (possibly media-encoded) payload plus
+// the logical sample shape. For sample-compressed tensors Data holds e.g.
+// JPEG bytes while Shape records the decoded pixel shape, so shape queries
+// never decode media.
+type Sample struct {
+	Shape []int
+	Data  []byte
+}
+
+// header layout: magic(4) version(u16) numSamples(u32) dirBytes(u32).
+const headerSize = 4 + 2 + 4 + 4
+
+// Directory describes where each sample lives inside a chunk. Offsets are
+// relative to the start of the data section and have length numSamples+1 so
+// sample i spans [Offsets[i], Offsets[i+1]).
+type Directory struct {
+	Offsets []uint64
+	Shapes  [][]int
+}
+
+// NumSamples returns the number of samples described.
+func (d *Directory) NumSamples() int { return len(d.Shapes) }
+
+// DataStart returns the absolute byte offset of the data section for a chunk
+// whose directory serializes to dirBytes.
+func dataStart(dirBytes int) int { return headerSize + dirBytes }
+
+// Encode serializes samples into a chunk blob.
+func Encode(samples []Sample) ([]byte, error) {
+	dir, err := encodeDirectory(samples)
+	if err != nil {
+		return nil, err
+	}
+	var payload int
+	for _, s := range samples {
+		payload += len(s.Data)
+	}
+	out := make([]byte, 0, headerSize+len(dir)+payload)
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint16(out, FormatVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(samples)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(dir)))
+	out = append(out, dir...)
+	for _, s := range samples {
+		out = append(out, s.Data...)
+	}
+	return out, nil
+}
+
+func encodeDirectory(samples []Sample) ([]byte, error) {
+	var dir []byte
+	var off uint64
+	// Offsets: n+1 entries.
+	for _, s := range samples {
+		dir = binary.LittleEndian.AppendUint64(dir, off)
+		off += uint64(len(s.Data))
+	}
+	dir = binary.LittleEndian.AppendUint64(dir, off)
+	// Shapes: ndim(u8) then u32 dims.
+	for _, s := range samples {
+		if len(s.Shape) > 255 {
+			return nil, fmt.Errorf("chunk: sample rank %d exceeds 255", len(s.Shape))
+		}
+		dir = append(dir, byte(len(s.Shape)))
+		for _, d := range s.Shape {
+			if d < 0 {
+				return nil, fmt.Errorf("chunk: negative dimension %d", d)
+			}
+			dir = binary.LittleEndian.AppendUint32(dir, uint32(d))
+		}
+	}
+	return dir, nil
+}
+
+var errCorrupt = errors.New("chunk: corrupt blob")
+
+// parseHeader validates the fixed header and returns sample count and
+// directory length.
+func parseHeader(raw []byte) (numSamples, dirBytes int, err error) {
+	if len(raw) < headerSize {
+		return 0, 0, errCorrupt
+	}
+	if string(raw[:4]) != Magic {
+		return 0, 0, fmt.Errorf("chunk: bad magic %q", raw[:4])
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:]); v != FormatVersion {
+		return 0, 0, fmt.Errorf("chunk: unsupported version %d", v)
+	}
+	numSamples = int(binary.LittleEndian.Uint32(raw[6:]))
+	dirBytes = int(binary.LittleEndian.Uint32(raw[10:]))
+	if dirBytes < 0 || headerSize+dirBytes > len(raw) {
+		return 0, 0, errCorrupt
+	}
+	return numSamples, dirBytes, nil
+}
+
+// DecodeDirectory parses only the header + directory of a chunk blob. The
+// input may be a prefix of the chunk (a header range request), as long as it
+// covers the directory.
+func DecodeDirectory(raw []byte) (*Directory, error) {
+	n, dirBytes, err := parseHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	dir := raw[headerSize : headerSize+dirBytes]
+	d := &Directory{Offsets: make([]uint64, 0, n+1), Shapes: make([][]int, 0, n)}
+	need := (n + 1) * 8
+	if len(dir) < need {
+		return nil, errCorrupt
+	}
+	for i := 0; i <= n; i++ {
+		d.Offsets = append(d.Offsets, binary.LittleEndian.Uint64(dir[i*8:]))
+	}
+	p := need
+	for i := 0; i < n; i++ {
+		if p >= len(dir) {
+			return nil, errCorrupt
+		}
+		nd := int(dir[p])
+		p++
+		if p+nd*4 > len(dir) {
+			return nil, errCorrupt
+		}
+		shape := make([]int, nd)
+		for j := 0; j < nd; j++ {
+			shape[j] = int(binary.LittleEndian.Uint32(dir[p:]))
+			p += 4
+		}
+		d.Shapes = append(d.Shapes, shape)
+	}
+	// Offsets must be monotone.
+	for i := 0; i < n; i++ {
+		if d.Offsets[i] > d.Offsets[i+1] {
+			return nil, errCorrupt
+		}
+	}
+	return d, nil
+}
+
+// HeaderRange returns a conservative byte range [0, n) that is guaranteed to
+// contain the header and directory of a chunk with at most maxSamples
+// samples of rank at most maxRank. Streaming readers use it to fetch the
+// directory with one range request before fetching sample payloads.
+func HeaderRange(maxSamples, maxRank int) int64 {
+	return int64(headerSize + (maxSamples+1)*8 + maxSamples*(1+4*maxRank))
+}
+
+// Decode parses a full chunk blob into its samples. Sample Data slices
+// alias raw.
+func Decode(raw []byte) ([]Sample, error) {
+	d, err := DecodeDirectory(raw)
+	if err != nil {
+		return nil, err
+	}
+	_, dirBytes, err := parseHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	data := raw[dataStart(dirBytes):]
+	n := d.NumSamples()
+	if n > 0 && d.Offsets[n] > uint64(len(data)) {
+		return nil, errCorrupt
+	}
+	samples := make([]Sample, n)
+	for i := 0; i < n; i++ {
+		samples[i] = Sample{
+			Shape: d.Shapes[i],
+			Data:  data[d.Offsets[i]:d.Offsets[i+1]],
+		}
+	}
+	return samples, nil
+}
+
+// SampleRange returns the absolute byte range of sample i inside a chunk
+// blob, computed from its directory; streaming readers pass it to
+// Provider.GetRange to fetch a single sample out of an 8MB chunk (§3.5).
+func SampleRange(raw []byte, i int) (offset, length int64, shape []int, err error) {
+	d, err := DecodeDirectory(raw)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return d.SampleRange(raw, i)
+}
+
+// SampleRange computes the absolute byte range of sample i given the chunk
+// prefix raw (which must include the directory).
+func (d *Directory) SampleRange(raw []byte, i int) (offset, length int64, shape []int, err error) {
+	if i < 0 || i >= d.NumSamples() {
+		return 0, 0, nil, fmt.Errorf("chunk: sample %d out of range (%d samples)", i, d.NumSamples())
+	}
+	_, dirBytes, err := parseHeader(raw)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	start := int64(dataStart(dirBytes)) + int64(d.Offsets[i])
+	return start, int64(d.Offsets[i+1] - d.Offsets[i]), d.Shapes[i], nil
+}

@@ -1,0 +1,174 @@
+package chunk
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestPlanTilesFitsBound(t *testing.T) {
+	l, err := PlanTiles([]int{1000, 1000, 3}, 1, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := 1
+	for _, d := range l.TileShape {
+		bytes *= d
+	}
+	if bytes > 300_000 {
+		t.Fatalf("tile %v = %d bytes exceeds bound", l.TileShape, bytes)
+	}
+	if l.NumTiles() < 4 {
+		t.Fatalf("expected multiple tiles, got %d", l.NumTiles())
+	}
+	// Grid must cover the sample.
+	for ax := range l.Grid {
+		if l.Grid[ax]*l.TileShape[ax] < l.SampleShape[ax] {
+			t.Fatalf("grid axis %d does not cover sample: %v x %v vs %v", ax, l.Grid, l.TileShape, l.SampleShape)
+		}
+	}
+}
+
+func TestPlanTilesSmallSample(t *testing.T) {
+	l, err := PlanTiles([]int{4, 4}, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTiles() != 1 {
+		t.Fatalf("small sample should be one tile, got %d", l.NumTiles())
+	}
+}
+
+func TestPlanTilesErrors(t *testing.T) {
+	if _, err := PlanTiles([]int{4}, 0, 10); err == nil {
+		t.Fatal("zero elem size should error")
+	}
+	if _, err := PlanTiles([]int{1, 1}, 8, 4); err == nil {
+		t.Fatal("untileable shape should error")
+	}
+}
+
+func TestTileIndexCoordsRoundTrip(t *testing.T) {
+	l := TileLayout{SampleShape: []int{10, 10, 10}, TileShape: []int{4, 5, 3}, Grid: []int{3, 2, 4}}
+	for i := 0; i < l.NumTiles(); i++ {
+		coords := l.TileCoords(i)
+		if got := l.TileIndex(coords); got != i {
+			t.Fatalf("index %d -> %v -> %d", i, coords, got)
+		}
+	}
+}
+
+func TestSplitAssembleIdentity(t *testing.T) {
+	// 7x9 array tiled 4x4.
+	vals := make([]float64, 63)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	a, _ := tensor.FromFloat64s(tensor.Int32, []int{7, 9}, vals)
+	l := TileLayout{SampleShape: []int{7, 9}, TileShape: []int{4, 4}, Grid: []int{2, 3}}
+
+	tiles, err := l.Split(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 6 {
+		t.Fatalf("split into %d tiles, want 6", len(tiles))
+	}
+	// Edge tiles are smaller.
+	if !reflect.DeepEqual(tiles[0].Shape(), []int{4, 4}) {
+		t.Fatalf("tile 0 shape %v", tiles[0].Shape())
+	}
+	if !reflect.DeepEqual(tiles[5].Shape(), []int{3, 1}) {
+		t.Fatalf("corner tile shape %v", tiles[5].Shape())
+	}
+
+	m := map[int]*tensor.NDArray{}
+	for i, tl := range tiles {
+		m[i] = tl
+	}
+	back, err := l.Assemble(tensor.Int32, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a) {
+		t.Fatal("assemble(split(a)) != a")
+	}
+}
+
+func TestAssembleRegionReadsOnlyNeededTiles(t *testing.T) {
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	a, _ := tensor.FromFloat64s(tensor.Int32, []int{8, 8}, vals)
+	l := TileLayout{SampleShape: []int{8, 8}, TileShape: []int{4, 4}, Grid: []int{2, 2}}
+	tiles, _ := l.Split(a)
+
+	region := []tensor.Range{{Start: 1, Stop: 3}, {Start: 1, Stop: 3}}
+	needed := l.TilesOverlapping(region)
+	if !reflect.DeepEqual(needed, []int{0}) {
+		t.Fatalf("tiles overlapping top-left region = %v, want [0]", needed)
+	}
+
+	// Assemble with only the needed tile present.
+	part, err := l.Assemble(tensor.Int32, map[int]*tensor.NDArray{0: tiles[0]}, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Slice(region...)
+	if !part.Equal(want) {
+		t.Fatalf("region assemble = %v, want %v", part.Float64s(), want.Float64s())
+	}
+
+	// Missing tile must error when the region needs it.
+	cross := []tensor.Range{{Start: 2, Stop: 6}, {Start: 2, Stop: 6}}
+	if _, err := l.Assemble(tensor.Int32, map[int]*tensor.NDArray{0: tiles[0]}, cross); err == nil {
+		t.Fatal("assemble with missing tiles should error")
+	}
+}
+
+func TestTilesOverlappingWholeSample(t *testing.T) {
+	l := TileLayout{SampleShape: []int{8, 8}, TileShape: []int{4, 4}, Grid: []int{2, 2}}
+	if got := l.TilesOverlapping(nil); len(got) != 4 {
+		t.Fatalf("nil region should return all tiles, got %v", got)
+	}
+}
+
+// Property: split+assemble is the identity for random shapes and bounds.
+func TestTilingIdentityProperty(t *testing.T) {
+	f := func(d0, d1 uint8, maxKB uint8) bool {
+		shape := []int{int(d0)%20 + 1, int(d1)%20 + 1}
+		maxBytes := (int(maxKB)%64 + 4) * 4 // 16..268 bytes, elem 4
+		l, err := PlanTiles(shape, 4, maxBytes)
+		if err != nil {
+			return true // untileable tiny bound: skip
+		}
+		n := shape[0] * shape[1]
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i%251) - 100
+		}
+		a, _ := tensor.FromFloat64s(tensor.Float32, shape, vals)
+		tiles, err := l.Split(a)
+		if err != nil {
+			return false
+		}
+		m := map[int]*tensor.NDArray{}
+		for i, tl := range tiles {
+			if tl.NumBytes() > maxBytes {
+				return false // a tile exceeded the bound
+			}
+			m[i] = tl
+		}
+		back, err := l.Assemble(tensor.Float32, m, nil)
+		if err != nil {
+			return false
+		}
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

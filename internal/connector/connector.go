@@ -1,0 +1,312 @@
+// Package connector implements the ETL destination-connector protocol of
+// §4.1.1: pluggable sources (CSV, JSON-lines, simulated SQL tables — the
+// stand-ins for Airbyte's source catalogue) whose records are transformed
+// into a columnar form and synchronized into Deep Lake tensors.
+package connector
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Record is one source row: column name to value. Values are string,
+// float64, int64, bool or []byte.
+type Record map[string]any
+
+// Source produces records, the connector protocol's extract side.
+type Source interface {
+	// Name identifies the source in logs.
+	Name() string
+	// Read streams every record to fn in order.
+	Read(ctx context.Context, fn func(Record) error) error
+}
+
+// CSVSource reads comma-separated data with a header row.
+type CSVSource struct {
+	// SourceName labels the source.
+	SourceName string
+	// R supplies the CSV text.
+	R io.Reader
+}
+
+// Name implements Source.
+func (s CSVSource) Name() string { return s.SourceName }
+
+// Read implements Source. Numeric-looking fields are converted to numbers.
+func (s CSVSource) Read(ctx context.Context, fn func(Record) error) error {
+	r := csv.NewReader(s.R)
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("connector: csv header: %w", err)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		row, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rec := Record{}
+		for i, col := range header {
+			if i >= len(row) {
+				continue
+			}
+			rec[col] = coerce(row[i])
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// coerce converts a CSV cell into int64, float64 or string.
+func coerce(cell string) any {
+	if v, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseFloat(cell, 64); err == nil {
+		return v
+	}
+	return cell
+}
+
+// JSONLSource reads one JSON object per line.
+type JSONLSource struct {
+	SourceName string
+	R          io.Reader
+}
+
+// Name implements Source.
+func (s JSONLSource) Name() string { return s.SourceName }
+
+// Read implements Source.
+func (s JSONLSource) Read(ctx context.Context, fn func(Record) error) error {
+	dec := json.NewDecoder(s.R)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var rec map[string]any
+		err := dec.Decode(&rec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		out := Record{}
+		for k, v := range rec {
+			switch t := v.(type) {
+			case float64:
+				if t == float64(int64(t)) {
+					out[k] = int64(t)
+				} else {
+					out[k] = t
+				}
+			default:
+				out[k] = v
+			}
+		}
+		if err := fn(out); err != nil {
+			return err
+		}
+	}
+}
+
+// SQLTableSource simulates a relational-database source: an in-memory
+// table with an optional predicate, standing in for "metadata might
+// already reside in a relational database" (§4.1.1).
+type SQLTableSource struct {
+	Table   string
+	Columns []string
+	Rows    [][]any
+	// Where optionally filters rows before emission.
+	Where func(Record) bool
+}
+
+// Name implements Source.
+func (s SQLTableSource) Name() string { return "sql:" + s.Table }
+
+// Read implements Source.
+func (s SQLTableSource) Read(ctx context.Context, fn func(Record) error) error {
+	for _, row := range s.Rows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if len(row) != len(s.Columns) {
+			return fmt.Errorf("connector: row width %d != %d columns", len(row), len(s.Columns))
+		}
+		rec := Record{}
+		for i, col := range s.Columns {
+			rec[col] = row[i]
+		}
+		if s.Where != nil && !s.Where(rec) {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FieldMapping maps one source column to a destination tensor.
+type FieldMapping struct {
+	// Column is the source column name.
+	Column string
+	// Tensor is the destination tensor name; empty reuses Column.
+	Tensor string
+}
+
+// SyncOptions configures Sync.
+type SyncOptions struct {
+	// Mappings selects and renames columns; nil syncs every column of
+	// the first record under its own name.
+	Mappings []FieldMapping
+	// CreateTensors creates missing destination tensors (text for
+	// strings, float64/int64 scalars for numbers).
+	CreateTensors bool
+	// CommitMessage commits the sync when non-empty.
+	CommitMessage string
+}
+
+// SyncStats reports a Sync run.
+type SyncStats struct {
+	Records int
+	Commit  string
+}
+
+// Sync pulls every record from src into ds, converting values into the
+// columnar tensor form (the connector protocol's load side).
+func Sync(ctx context.Context, src Source, ds *core.Dataset, opts SyncOptions) (SyncStats, error) {
+	var stats SyncStats
+	mappings := opts.Mappings
+	err := src.Read(ctx, func(rec Record) error {
+		if mappings == nil {
+			for col := range rec {
+				mappings = append(mappings, FieldMapping{Column: col})
+			}
+			sortMappings(mappings)
+		}
+		for _, m := range mappings {
+			name := m.Tensor
+			if name == "" {
+				name = m.Column
+			}
+			val, ok := rec[m.Column]
+			if !ok {
+				return fmt.Errorf("connector: record missing column %q", m.Column)
+			}
+			t := ds.Tensor(name)
+			if t == nil {
+				if !opts.CreateTensors {
+					return fmt.Errorf("connector: tensor %q does not exist", name)
+				}
+				spec := specFor(name, val)
+				var err error
+				t, err = ds.CreateTensor(ctx, spec)
+				if err != nil {
+					return err
+				}
+			}
+			arr, err := toArray(val, t)
+			if err != nil {
+				return fmt.Errorf("connector: column %q: %w", m.Column, err)
+			}
+			if err := t.Append(ctx, arr); err != nil {
+				return err
+			}
+		}
+		stats.Records++
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	if opts.CommitMessage != "" {
+		commit, err := ds.Commit(ctx, opts.CommitMessage)
+		if err != nil {
+			return stats, err
+		}
+		stats.Commit = commit
+	} else if err := ds.Flush(ctx); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+func sortMappings(ms []FieldMapping) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Column < ms[j-1].Column; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// specFor infers a tensor spec from the first value of a column.
+func specFor(name string, val any) core.TensorSpec {
+	switch val.(type) {
+	case string:
+		return core.TensorSpec{Name: name, Htype: "text"}
+	case int64:
+		return core.TensorSpec{Name: name, Dtype: tensor.Int64}
+	case float64:
+		return core.TensorSpec{Name: name, Dtype: tensor.Float64}
+	case bool:
+		return core.TensorSpec{Name: name, Dtype: tensor.Bool}
+	case []byte:
+		return core.TensorSpec{Name: name, Htype: "json"}
+	}
+	return core.TensorSpec{Name: name, Htype: "text"}
+}
+
+// toArray converts one record value into the destination tensor's sample
+// form.
+func toArray(val any, t *core.Tensor) (*tensor.NDArray, error) {
+	switch v := val.(type) {
+	case string:
+		if t.Htype().Base.Name == "text" {
+			return tensor.FromString(v), nil
+		}
+		// Numeric tensor fed a string: parse.
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cannot convert %q to %s", v, t.Dtype())
+		}
+		return tensor.Scalar(t.Dtype(), f), nil
+	case int64:
+		if t.Htype().Base.Name == "text" {
+			return tensor.FromString(strconv.FormatInt(v, 10)), nil
+		}
+		return tensor.Scalar(t.Dtype(), float64(v)), nil
+	case float64:
+		if t.Htype().Base.Name == "text" {
+			return tensor.FromString(strconv.FormatFloat(v, 'g', -1, 64)), nil
+		}
+		return tensor.Scalar(t.Dtype(), v), nil
+	case bool:
+		f := 0.0
+		if v {
+			f = 1
+		}
+		return tensor.Scalar(t.Dtype(), f), nil
+	case []byte:
+		arr, err := tensor.FromBytes(tensor.UInt8, []int{len(v)}, append([]byte(nil), v...))
+		return arr, err
+	case nil:
+		return tensor.FromString(""), nil
+	}
+	return nil, fmt.Errorf("unsupported value type %T", val)
+}

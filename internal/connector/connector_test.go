@@ -1,0 +1,179 @@
+package connector
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+func newDS(t *testing.T) *core.Dataset {
+	t.Helper()
+	ds, err := core.Create(context.Background(), storage.NewMemory(), "etl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCSVSync(t *testing.T) {
+	ctx := context.Background()
+	ds := newDS(t)
+	csv := "id,name,score\n1,apple,0.9\n2,banana,0.75\n3,cherry,1\n"
+	stats, err := Sync(ctx, CSVSource{SourceName: "fruits", R: strings.NewReader(csv)}, ds,
+		SyncOptions{CreateTensors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 3 {
+		t.Fatalf("records = %d", stats.Records)
+	}
+	// Inferred schemas: id int64, name text, score float64 (first row
+	// decides; "1" in score row 3 still lands as float64 scalar).
+	idT := ds.Tensor("id")
+	if idT == nil || idT.Dtype() != tensor.Int64 {
+		t.Fatalf("id tensor = %v", idT)
+	}
+	nameT := ds.Tensor("name")
+	if nameT == nil || nameT.Htype().Base.Name != "text" {
+		t.Fatalf("name tensor htype = %v", nameT.Htype())
+	}
+	arr, err := nameT.At(ctx, 1)
+	if err != nil || arr.AsString() != "banana" {
+		t.Fatalf("name[1] = %q, %v", arr.AsString(), err)
+	}
+	score, _ := ds.Tensor("score").At(ctx, 2)
+	if v, _ := score.Item(); v != 1 {
+		t.Fatalf("score[2] = %v", v)
+	}
+}
+
+func TestJSONLSync(t *testing.T) {
+	ctx := context.Background()
+	ds := newDS(t)
+	jsonl := `{"label": 3, "caption": "a cat"}
+{"label": 5, "caption": "a dog"}`
+	stats, err := Sync(ctx, JSONLSource{SourceName: "meta", R: strings.NewReader(jsonl)}, ds,
+		SyncOptions{CreateTensors: true, CommitMessage: "initial sync"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 || stats.Commit == "" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	lbl, _ := ds.Tensor("label").At(ctx, 1)
+	if v, _ := lbl.Item(); v != 5 {
+		t.Fatalf("label[1] = %v", v)
+	}
+	// Commit recorded.
+	log, err := ds.Log()
+	if err != nil || len(log) != 1 || log[0].Message != "initial sync" {
+		t.Fatalf("log = %v, %v", log, err)
+	}
+}
+
+func TestSQLTableSourceWithPredicate(t *testing.T) {
+	ctx := context.Background()
+	ds := newDS(t)
+	src := SQLTableSource{
+		Table:   "annotations",
+		Columns: []string{"image_id", "quality"},
+		Rows: [][]any{
+			{int64(1), 0.9},
+			{int64(2), 0.2},
+			{int64(3), 0.95},
+		},
+		Where: func(r Record) bool { return r["quality"].(float64) > 0.5 },
+	}
+	stats, err := Sync(ctx, src, ds, SyncOptions{CreateTensors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 {
+		t.Fatalf("filtered records = %d, want 2", stats.Records)
+	}
+	ids := ds.Tensor("image_id")
+	v0, _ := ids.At(ctx, 0)
+	v1, _ := ids.At(ctx, 1)
+	a, _ := v0.Item()
+	b, _ := v1.Item()
+	if a != 1 || b != 3 {
+		t.Fatalf("ids = %v, %v", a, b)
+	}
+}
+
+func TestMappingsSelectAndRename(t *testing.T) {
+	ctx := context.Background()
+	ds := newDS(t)
+	csv := "a,b,c\n1,2,3\n4,5,6\n"
+	_, err := Sync(ctx, CSVSource{SourceName: "t", R: strings.NewReader(csv)}, ds, SyncOptions{
+		CreateTensors: true,
+		Mappings:      []FieldMapping{{Column: "a", Tensor: "alpha"}, {Column: "c"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Tensor("alpha") == nil || ds.Tensor("c") == nil {
+		t.Fatal("mapped tensors missing")
+	}
+	if ds.Tensor("b") != nil {
+		t.Fatal("unmapped column should not sync")
+	}
+	arr, _ := ds.Tensor("alpha").At(ctx, 1)
+	if v, _ := arr.Item(); v != 4 {
+		t.Fatalf("alpha[1] = %v", v)
+	}
+}
+
+func TestSyncErrors(t *testing.T) {
+	ctx := context.Background()
+	ds := newDS(t)
+	// Missing column in mapping.
+	csv := "a\n1\n"
+	_, err := Sync(ctx, CSVSource{SourceName: "t", R: strings.NewReader(csv)}, ds, SyncOptions{
+		CreateTensors: true,
+		Mappings:      []FieldMapping{{Column: "zz"}},
+	})
+	if err == nil {
+		t.Fatal("missing column should error")
+	}
+	// Existing tensor required when CreateTensors is false.
+	_, err = Sync(ctx, CSVSource{SourceName: "t", R: strings.NewReader("a\n1\n")}, ds, SyncOptions{})
+	if err == nil {
+		t.Fatal("missing tensor without CreateTensors should error")
+	}
+	// Malformed CSV.
+	_, err = Sync(ctx, CSVSource{SourceName: "t", R: strings.NewReader("")}, ds, SyncOptions{CreateTensors: true})
+	if err == nil {
+		t.Fatal("empty csv should error on header")
+	}
+	// SQL row width mismatch.
+	src := SQLTableSource{Table: "x", Columns: []string{"a", "b"}, Rows: [][]any{{1}}}
+	if _, err := Sync(ctx, src, ds, SyncOptions{CreateTensors: true}); err == nil {
+		t.Fatal("row width mismatch should error")
+	}
+}
+
+func TestStringToNumericConversion(t *testing.T) {
+	ctx := context.Background()
+	ds := newDS(t)
+	if _, err := ds.CreateTensor(ctx, core.TensorSpec{Name: "n", Dtype: tensor.Float64}); err != nil {
+		t.Fatal(err)
+	}
+	src := SQLTableSource{Table: "t", Columns: []string{"n"}, Rows: [][]any{{"3.5"}}}
+	if _, err := Sync(ctx, src, ds, SyncOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	arr, _ := ds.Tensor("n").At(ctx, 0)
+	if v, _ := arr.Item(); v != 3.5 {
+		t.Fatalf("n[0] = %v", v)
+	}
+	// Unparseable string into numeric tensor errors.
+	src2 := SQLTableSource{Table: "t", Columns: []string{"n"}, Rows: [][]any{{"abc"}}}
+	if _, err := Sync(ctx, src2, ds, SyncOptions{}); err == nil {
+		t.Fatal("non-numeric string should error")
+	}
+}

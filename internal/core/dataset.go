@@ -1,0 +1,431 @@
+// Package core implements the Tensor Storage Format dataset (§3): columnar
+// datasets whose columns are typed tensors of dynamically shaped
+// n-dimensional samples, chunked between size bounds, indexed by compressed
+// encoders, and versioned through a branching commit tree over any storage
+// provider.
+//
+// A dataset on storage is fully self-contained (§5): a provenance file
+// (dataset.json), a version-control file, and per-version sub-directories
+// holding tensor metadata, encoders, and only the chunks modified in that
+// version (§4.2).
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/version"
+)
+
+// SampleIDTensor is the hidden tensor holding per-row sample ids used to
+// track identity across merges (§4.2: "ids of samples are generated and
+// stored during the dataset population").
+const SampleIDTensor = "_sample_id"
+
+// Dataset is an open Deep Lake dataset bound to a storage provider.
+type Dataset struct {
+	mu    sync.RWMutex
+	store storage.Provider
+	meta  datasetMeta
+	tree  *version.Tree
+
+	// branch is the checked-out branch; empty when detached at a commit.
+	branch string
+	// head is the current version id (mutable head, or a frozen commit
+	// when detached).
+	head string
+
+	tensors map[string]*Tensor
+	order   []string
+
+	// strict rejects out-of-bounds SetAt instead of padding (§3.5:
+	// "While the strict mode is disabled, out-of-the-bounds indices of a
+	// tensor can be assigned").
+	strict bool
+
+	// now supplies timestamps; replaceable in tests.
+	now func() time.Time
+}
+
+// SetStrict toggles strict index checking for in-place assignment.
+func (ds *Dataset) SetStrict(strict bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.strict = strict
+}
+
+// Create initializes an empty dataset on the provider. The provider's
+// namespace must not already contain a dataset.
+func Create(ctx context.Context, store storage.Provider, name string) (*Dataset, error) {
+	if ok, err := store.Exists(ctx, datasetMetaKey); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("core: dataset already exists")
+	}
+	now := time.Now().UTC()
+	ds := &Dataset{
+		store: store,
+		meta: datasetMeta{
+			Name:          name,
+			FormatVersion: FormatVersion,
+			CreatedAt:     now,
+			CurrentBranch: version.DefaultBranch,
+		},
+		tree:    version.NewTree(now),
+		branch:  version.DefaultBranch,
+		tensors: map[string]*Tensor{},
+		now:     func() time.Time { return time.Now().UTC() },
+	}
+	headNode, err := ds.tree.Head(ds.branch)
+	if err != nil {
+		return nil, err
+	}
+	ds.head = headNode.ID
+	if err := ds.persistRoot(ctx); err != nil {
+		return nil, err
+	}
+	if err := ds.store.Put(ctx, schemaKey(ds.head), mustJSON(schemaFile{Tensors: []string{}})); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Open loads an existing dataset at its current branch head.
+func Open(ctx context.Context, store storage.Provider) (*Dataset, error) {
+	ds := &Dataset{
+		store:   store,
+		tensors: map[string]*Tensor{},
+		now:     func() time.Time { return time.Now().UTC() },
+	}
+	raw, err := store.Get(ctx, datasetMetaKey)
+	if err != nil {
+		if storage.IsNotFound(err) {
+			return nil, fmt.Errorf("core: no dataset at this location")
+		}
+		return nil, err
+	}
+	if err := unmarshalJSON(raw, &ds.meta); err != nil {
+		return nil, fmt.Errorf("core: corrupt dataset.json: %w", err)
+	}
+	if ds.meta.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("core: unsupported format version %d", ds.meta.FormatVersion)
+	}
+	rawTree, err := store.Get(ctx, versionTreeKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: missing version tree: %w", err)
+	}
+	ds.tree, err = version.Unmarshal(rawTree)
+	if err != nil {
+		return nil, err
+	}
+	ds.branch = ds.meta.CurrentBranch
+	headNode, err := ds.tree.Head(ds.branch)
+	if err != nil {
+		return nil, err
+	}
+	ds.head = headNode.ID
+	if err := ds.loadTensors(ctx); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Name returns the dataset name.
+func (ds *Dataset) Name() string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.meta.Name
+}
+
+// Branch returns the checked-out branch; empty when detached.
+func (ds *Dataset) Branch() string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.branch
+}
+
+// Version returns the current version id.
+func (ds *Dataset) Version() string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.head
+}
+
+// Store exposes the underlying provider (read-only use by the streaming
+// layers).
+func (ds *Dataset) Store() storage.Provider { return ds.store }
+
+// CreateTensor adds a tensor column to the dataset.
+func (ds *Dataset) CreateTensor(ctx context.Context, spec TensorSpec) (*Tensor, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err := ds.ensureWritable(); err != nil {
+		return nil, err
+	}
+	if spec.Name == "" || strings.HasPrefix(spec.Name, "/") || strings.HasSuffix(spec.Name, "/") {
+		return nil, fmt.Errorf("core: invalid tensor name %q", spec.Name)
+	}
+	if _, exists := ds.tensors[spec.Name]; exists {
+		return nil, fmt.Errorf("core: tensor %q already exists", spec.Name)
+	}
+	t, err := newTensor(ds, spec)
+	if err != nil {
+		return nil, err
+	}
+	ds.tensors[spec.Name] = t
+	ds.order = append(ds.order, spec.Name)
+	if err := t.save(ctx); err != nil {
+		return nil, err
+	}
+	if err := ds.persistSchema(ctx); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DeleteTensor removes a tensor from the current working version's schema.
+// Historical commits keep the tensor (schema evolution is version-tracked,
+// §2.4(3)/§3.1); its chunks in ancestor versions remain untouched.
+func (ds *Dataset) DeleteTensor(ctx context.Context, name string) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err := ds.ensureWritable(); err != nil {
+		return err
+	}
+	if _, ok := ds.tensors[name]; !ok {
+		return fmt.Errorf("core: tensor %q does not exist", name)
+	}
+	delete(ds.tensors, name)
+	for i, n := range ds.order {
+		if n == name {
+			ds.order = append(ds.order[:i], ds.order[i+1:]...)
+			break
+		}
+	}
+	// Drop the working version's copies of the tensor state; chunks in
+	// this head are garbage but ancestors keep theirs.
+	keys, err := ds.store.List(ctx, tensorPrefix(ds.head, name)+"/")
+	if err != nil {
+		return err
+	}
+	for _, key := range keys {
+		if err := ds.store.Delete(ctx, key); err != nil {
+			return err
+		}
+	}
+	return ds.persistSchema(ctx)
+}
+
+// Tensor returns an open tensor by name, or nil if absent.
+func (ds *Dataset) Tensor(name string) *Tensor {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.tensors[name]
+}
+
+// Tensors lists visible (non-hidden) tensor names in creation order.
+func (ds *Dataset) Tensors() []string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	var out []string
+	for _, name := range ds.order {
+		if !ds.tensors[name].meta.Hidden {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// AllTensors lists every tensor including hidden ones.
+func (ds *Dataset) AllTensors() []string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return append([]string(nil), ds.order...)
+}
+
+// NumRows returns the minimum length across visible tensors — the number of
+// complete rows. A dataset with no tensors has zero rows.
+func (ds *Dataset) NumRows() uint64 {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	var n uint64
+	first := true
+	for _, name := range ds.order {
+		t := ds.tensors[name]
+		if t.meta.Hidden {
+			continue
+		}
+		if first || t.meta.Length < n {
+			n = t.meta.Length
+			first = false
+		}
+	}
+	if first {
+		return 0
+	}
+	return n
+}
+
+// MaxLength returns the maximum length across visible tensors.
+func (ds *Dataset) MaxLength() uint64 {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	var n uint64
+	for _, name := range ds.order {
+		t := ds.tensors[name]
+		if !t.meta.Hidden && t.meta.Length > n {
+			n = t.meta.Length
+		}
+	}
+	return n
+}
+
+// Append adds one full row across the given visible tensors and assigns a
+// hidden sample id. Tensors absent from values are left untouched.
+func (ds *Dataset) Append(ctx context.Context, values map[string]*tensor.NDArray) error {
+	ds.mu.Lock()
+	if err := ds.ensureWritable(); err != nil {
+		ds.mu.Unlock()
+		return err
+	}
+	idt := ds.tensors[SampleIDTensor]
+	ds.mu.Unlock()
+
+	if idt == nil {
+		var err error
+		idt, err = ds.CreateTensor(ctx, TensorSpec{
+			Name:   SampleIDTensor,
+			Htype:  "generic",
+			Dtype:  tensor.UInt64,
+			Hidden: true,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for name, arr := range values {
+		t := ds.Tensor(name)
+		if t == nil {
+			return fmt.Errorf("core: unknown tensor %q", name)
+		}
+		if err := t.Append(ctx, arr); err != nil {
+			return fmt.Errorf("core: append to %q: %w", name, err)
+		}
+	}
+	ds.mu.Lock()
+	id := ds.meta.NextSampleID
+	ds.meta.NextSampleID++
+	ds.mu.Unlock()
+	return idt.Append(ctx, tensor.Scalar(tensor.UInt64, float64(id)))
+}
+
+// Flush writes all buffered chunks and metadata to storage. A dataset must
+// be flushed (or committed) before another process opens it.
+func (ds *Dataset) Flush(ctx context.Context) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.flushLocked(ctx)
+}
+
+func (ds *Dataset) flushLocked(ctx context.Context) error {
+	for _, name := range ds.order {
+		t := ds.tensors[name]
+		if err := t.flushPending(ctx); err != nil {
+			return err
+		}
+		if err := t.save(ctx); err != nil {
+			return err
+		}
+	}
+	return ds.persistRoot(ctx)
+}
+
+func (ds *Dataset) ensureWritable() error {
+	if ds.branch == "" {
+		return fmt.Errorf("core: dataset is in detached read-only state at %s; checkout a branch to write", ds.head)
+	}
+	return nil
+}
+
+// persistRoot writes dataset.json and the version tree.
+func (ds *Dataset) persistRoot(ctx context.Context) error {
+	ds.meta.CurrentBranch = ds.branch
+	if ds.branch == "" {
+		// Keep the last real branch on detached checkouts so a plain
+		// Open recovers a writable state.
+		ds.meta.CurrentBranch = version.DefaultBranch
+	}
+	if err := ds.store.Put(ctx, datasetMetaKey, mustJSON(ds.meta)); err != nil {
+		return err
+	}
+	rawTree, err := ds.tree.Marshal()
+	if err != nil {
+		return err
+	}
+	return ds.store.Put(ctx, versionTreeKey, rawTree)
+}
+
+func (ds *Dataset) persistSchema(ctx context.Context) error {
+	return ds.store.Put(ctx, schemaKey(ds.head), mustJSON(schemaFile{Tensors: append([]string(nil), ds.order...)}))
+}
+
+// loadTensors reads the schema of the current head and opens every tensor.
+func (ds *Dataset) loadTensors(ctx context.Context) error {
+	raw, err := ds.store.Get(ctx, schemaKey(ds.head))
+	if err != nil {
+		return fmt.Errorf("core: missing schema for version %s: %w", ds.head, err)
+	}
+	var schema schemaFile
+	if err := unmarshalJSON(raw, &schema); err != nil {
+		return err
+	}
+	ds.tensors = map[string]*Tensor{}
+	ds.order = nil
+	for _, name := range schema.Tensors {
+		t, err := loadTensor(ctx, ds, name)
+		if err != nil {
+			return fmt.Errorf("core: load tensor %q: %w", name, err)
+		}
+		ds.tensors[name] = t
+		ds.order = append(ds.order, name)
+	}
+	return nil
+}
+
+// Group is a syntactic view over tensors sharing a name prefix (§3.1).
+type Group struct {
+	ds     *Dataset
+	prefix string
+}
+
+// Group returns a group rooted at name.
+func (ds *Dataset) Group(name string) Group {
+	return Group{ds: ds, prefix: strings.TrimSuffix(name, "/") + "/"}
+}
+
+// CreateTensor creates a tensor inside the group.
+func (g Group) CreateTensor(ctx context.Context, spec TensorSpec) (*Tensor, error) {
+	spec.Name = g.prefix + spec.Name
+	return g.ds.CreateTensor(ctx, spec)
+}
+
+// Tensor opens a tensor inside the group.
+func (g Group) Tensor(name string) *Tensor { return g.ds.Tensor(g.prefix + name) }
+
+// Tensors lists visible tensors in the group, names relative to it.
+func (g Group) Tensors() []string {
+	var out []string
+	for _, name := range g.ds.Tensors() {
+		if strings.HasPrefix(name, g.prefix) {
+			out = append(out, strings.TrimPrefix(name, g.prefix))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Branch-based advisory locks (§7.3: "Deep Lake implements branch-based
+// locks for concurrent access"). A writer acquires the lock of the branch it
+// intends to mutate; other writers observe the holder and back off, while
+// readers are never blocked (reads only touch immutable commits plus the
+// holder's in-flight head).
+
+// lockRecord is the persisted lock file.
+type lockRecord struct {
+	Owner      string    `json:"owner"`
+	Branch     string    `json:"branch"`
+	AcquiredAt time.Time `json:"acquired_at"`
+}
+
+func branchLockKey(branch string) string { return "locks/" + branch + ".json" }
+
+// ErrBranchLocked reports a conflicting lock holder.
+type ErrBranchLocked struct {
+	Branch string
+	Owner  string
+}
+
+func (e *ErrBranchLocked) Error() string {
+	return fmt.Sprintf("core: branch %q is locked by %q", e.Branch, e.Owner)
+}
+
+// AcquireBranchLock takes the current branch's writer lock for owner.
+// Re-acquiring a lock already held by the same owner succeeds (reentrant).
+func (ds *Dataset) AcquireBranchLock(ctx context.Context, owner string) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.branch == "" {
+		return fmt.Errorf("core: cannot lock a detached checkout")
+	}
+	if owner == "" {
+		return fmt.Errorf("core: lock owner must be non-empty")
+	}
+	key := branchLockKey(ds.branch)
+	raw, err := ds.store.Get(ctx, key)
+	if err == nil {
+		var rec lockRecord
+		if err := unmarshalJSON(raw, &rec); err != nil {
+			return fmt.Errorf("core: corrupt lock file: %w", err)
+		}
+		if rec.Owner != owner {
+			return &ErrBranchLocked{Branch: ds.branch, Owner: rec.Owner}
+		}
+		return nil // reentrant
+	}
+	if !storage.IsNotFound(err) {
+		return err
+	}
+	rec := lockRecord{Owner: owner, Branch: ds.branch, AcquiredAt: ds.now()}
+	return ds.store.Put(ctx, key, mustJSON(rec))
+}
+
+// ReleaseBranchLock drops the current branch's lock if owner holds it.
+func (ds *Dataset) ReleaseBranchLock(ctx context.Context, owner string) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.branch == "" {
+		return fmt.Errorf("core: cannot unlock a detached checkout")
+	}
+	key := branchLockKey(ds.branch)
+	raw, err := ds.store.Get(ctx, key)
+	if storage.IsNotFound(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var rec lockRecord
+	if err := unmarshalJSON(raw, &rec); err != nil {
+		return err
+	}
+	if rec.Owner != owner {
+		return &ErrBranchLocked{Branch: ds.branch, Owner: rec.Owner}
+	}
+	return ds.store.Delete(ctx, key)
+}
+
+// BranchLockHolder reports the current branch's lock holder, if any.
+func (ds *Dataset) BranchLockHolder(ctx context.Context) (owner string, held bool, err error) {
+	ds.mu.RLock()
+	branch := ds.branch
+	ds.mu.RUnlock()
+	if branch == "" {
+		return "", false, nil
+	}
+	raw, err := ds.store.Get(ctx, branchLockKey(branch))
+	if storage.IsNotFound(err) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	var rec lockRecord
+	if err := unmarshalJSON(raw, &rec); err != nil {
+		return "", false, err
+	}
+	return rec.Owner, true, nil
+}

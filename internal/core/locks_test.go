@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBranchLockLifecycle(t *testing.T) {
+	ctx := context.Background()
+	ds, store := newTestDataset(t)
+
+	// No holder initially.
+	owner, held, err := ds.BranchLockHolder(ctx)
+	if err != nil || held || owner != "" {
+		t.Fatalf("initial holder = %q, %v, %v", owner, held, err)
+	}
+
+	// Acquire, reentrant re-acquire.
+	if err := ds.AcquireBranchLock(ctx, "trainer-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AcquireBranchLock(ctx, "trainer-1"); err != nil {
+		t.Fatalf("reentrant acquire: %v", err)
+	}
+	owner, held, _ = ds.BranchLockHolder(ctx)
+	if !held || owner != "trainer-1" {
+		t.Fatalf("holder = %q, %v", owner, held)
+	}
+
+	// A second writer (same storage) is refused.
+	other, err := Open(ctx, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = other.AcquireBranchLock(ctx, "trainer-2")
+	var locked *ErrBranchLocked
+	if !errors.As(err, &locked) || locked.Owner != "trainer-1" {
+		t.Fatalf("conflicting acquire = %v", err)
+	}
+
+	// Wrong owner cannot release.
+	if err := other.ReleaseBranchLock(ctx, "trainer-2"); err == nil {
+		t.Fatal("foreign release should error")
+	}
+	// Rightful release frees the branch.
+	if err := ds.ReleaseBranchLock(ctx, "trainer-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.AcquireBranchLock(ctx, "trainer-2"); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	// Releasing an unheld lock is a no-op.
+	if err := other.ReleaseBranchLock(ctx, "trainer-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.ReleaseBranchLock(ctx, "trainer-2"); err != nil {
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+func TestBranchLockPerBranch(t *testing.T) {
+	ctx := context.Background()
+	ds, _ := newTestDataset(t)
+	x, _ := ds.CreateTensor(ctx, TensorSpec{Name: "x", Dtype: tensor.Int32, Bounds: smallBounds})
+	appendInts(t, x, 1)
+	if _, err := ds.Commit(ctx, "base"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AcquireBranchLock(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	// A different branch has an independent lock.
+	if err := ds.Checkout(ctx, "dev", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AcquireBranchLock(ctx, "bob"); err != nil {
+		t.Fatalf("dev lock: %v", err)
+	}
+	owner, held, _ := ds.BranchLockHolder(ctx)
+	if !held || owner != "bob" {
+		t.Fatalf("dev holder = %q", owner)
+	}
+	// Back on main, alice still holds.
+	if err := ds.Checkout(ctx, "main", false); err != nil {
+		t.Fatal(err)
+	}
+	owner, held, _ = ds.BranchLockHolder(ctx)
+	if !held || owner != "alice" {
+		t.Fatalf("main holder = %q", owner)
+	}
+}
+
+func TestBranchLockErrors(t *testing.T) {
+	ctx := context.Background()
+	ds, _ := newTestDataset(t)
+	if err := ds.AcquireBranchLock(ctx, ""); err == nil {
+		t.Fatal("empty owner should error")
+	}
+	x, _ := ds.CreateTensor(ctx, TensorSpec{Name: "x", Dtype: tensor.Int32, Bounds: smallBounds})
+	appendInts(t, x, 1)
+	c1, _ := ds.Commit(ctx, "c1")
+	if err := ds.Checkout(ctx, c1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AcquireBranchLock(ctx, "x"); err == nil {
+		t.Fatal("detached lock should error")
+	}
+	if err := ds.ReleaseBranchLock(ctx, "x"); err == nil {
+		t.Fatal("detached unlock should error")
+	}
+	if _, held, err := ds.BranchLockHolder(ctx); err != nil || held {
+		t.Fatalf("detached holder = %v, %v", held, err)
+	}
+}

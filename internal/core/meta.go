@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/tensor"
+)
+
+// FormatVersion is bumped on incompatible dataset layout changes.
+const FormatVersion = 1
+
+// TensorSpec declares a new tensor column (§3.2-3.3).
+type TensorSpec struct {
+	// Name identifies the tensor; "/" segments express group nesting
+	// (§3.1: groups implement syntactic nesting).
+	Name string
+	// Htype is the htype expression ("image", "sequence[image]",
+	// "link[image]", ...). Empty means generic.
+	Htype string
+	// Dtype overrides the htype's default element type.
+	Dtype tensor.Dtype
+	// SampleCompression is the per-sample media codec ("jpeg", "png",
+	// "none"). Empty adopts the htype default.
+	SampleCompression string
+	// ChunkCompression is the per-chunk byte codec ("lz4", "deflate",
+	// "none"). Empty adopts the htype default.
+	ChunkCompression string
+	// Hidden excludes the tensor from listings; used for derived data
+	// such as down-sampled previews and sample ids (§3.4).
+	Hidden bool
+	// Bounds overrides the chunk sizing policy; zero value uses the 8MB
+	// default.
+	Bounds chunk.Bounds
+}
+
+// TensorMeta is the persisted tensor metadata (meta.json).
+type TensorMeta struct {
+	Htype             string       `json:"htype"`
+	Dtype             string       `json:"dtype"`
+	SampleCompression string       `json:"sample_compression"`
+	ChunkCompression  string       `json:"chunk_compression"`
+	Hidden            bool         `json:"hidden"`
+	Bounds            chunk.Bounds `json:"bounds"`
+	// NextChunkID feeds monotonically increasing chunk ids.
+	NextChunkID uint64 `json:"next_chunk_id"`
+	// Length is the logical row count (sequence rows for sequence
+	// tensors, samples otherwise).
+	Length uint64 `json:"length"`
+}
+
+// datasetMeta is the persisted dataset metadata (dataset.json), the
+// provenance file of §3.4.
+type datasetMeta struct {
+	Name          string    `json:"name"`
+	FormatVersion int       `json:"format_version"`
+	CreatedAt     time.Time `json:"created_at"`
+	CurrentBranch string    `json:"current_branch"`
+	NextSampleID  uint64    `json:"next_sample_id"`
+}
+
+// schemaFile lists the tensors of one version (schema evolution is tracked
+// per version, §3.1).
+type schemaFile struct {
+	Tensors []string `json:"tensors"`
+}
+
+// diffRecord is the per-tensor, per-version commit diff (§4.2: "for each
+// version, a commit diff file is also stored per tensor").
+type diffRecord struct {
+	// AddedFrom/AddedTo delimit [from, to) sample indices appended in
+	// this version.
+	AddedFrom uint64 `json:"added_from"`
+	AddedTo   uint64 `json:"added_to"`
+	// Updated lists indices modified in place in this version.
+	Updated []uint64 `json:"updated,omitempty"`
+}
+
+// chunkSetFile lists chunk ids materialized in one version directory
+// (§4.2: "a corresponding chunk_set per tensor containing the names of all
+// the modified chunks").
+type chunkSetFile struct {
+	Chunks []uint64 `json:"chunks"`
+}
+
+// Storage layout helpers. All keys are relative to the dataset root.
+
+const (
+	datasetMetaKey = "dataset.json"
+	versionTreeKey = "version_control.json"
+)
+
+func versionPrefix(vid string) string { return "versions/" + vid }
+
+func schemaKey(vid string) string { return versionPrefix(vid) + "/schema.json" }
+
+func tensorPrefix(vid, name string) string { return versionPrefix(vid) + "/tensors/" + name }
+
+func tensorMetaKey(vid, name string) string { return tensorPrefix(vid, name) + "/meta.json" }
+
+func chunkEncoderKey(vid, name string) string { return tensorPrefix(vid, name) + "/chunk_encoder" }
+
+func shapeEncoderKey(vid, name string) string { return tensorPrefix(vid, name) + "/shape_encoder" }
+
+func tileEncoderKey(vid, name string) string { return tensorPrefix(vid, name) + "/tile_encoder" }
+
+func seqEncoderKey(vid, name string) string { return tensorPrefix(vid, name) + "/sequence_encoder" }
+
+func chunkSetKey(vid, name string) string { return tensorPrefix(vid, name) + "/chunk_set.json" }
+
+func diffKey(vid, name string) string { return tensorPrefix(vid, name) + "/diff.json" }
+
+func chunkKey(vid, name string, id uint64) string {
+	return fmt.Sprintf("%s/chunks/%016x", tensorPrefix(vid, name), id)
+}
+
+func marshalJSON(v any) ([]byte, error) { return json.MarshalIndent(v, "", "  ") }

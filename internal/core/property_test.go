@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// TestDatasetRoundTripProperty drives a random workload — appends of random
+// dtypes/shapes, interleaved in-place updates, flushes and reopens — and
+// verifies every sample against an in-memory reference model. This is the
+// integration-level invariant: the Tensor Storage Format is a faithful,
+// durable array store under any operation order.
+func TestDatasetRoundTripProperty(t *testing.T) {
+	dtypes := []tensor.Dtype{tensor.UInt8, tensor.Int32, tensor.Float64, tensor.Int16}
+	f := func(seed int64, opsRaw uint8) bool {
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(seed))
+		store := storage.NewMemory()
+		ds, err := Create(ctx, store, "prop")
+		if err != nil {
+			return false
+		}
+		dt := dtypes[rng.Intn(len(dtypes))]
+		tr, err := ds.CreateTensor(ctx, TensorSpec{Name: "x", Dtype: dt, Bounds: smallBounds})
+		if err != nil {
+			return false
+		}
+		var ref []*tensor.NDArray // reference model
+
+		randArray := func() *tensor.NDArray {
+			rank := rng.Intn(3) + 1
+			shape := make([]int, rank)
+			n := 1
+			for i := range shape {
+				shape[i] = rng.Intn(4) + 1
+				n *= shape[i]
+			}
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(rng.Intn(100))
+			}
+			a, _ := tensor.FromFloat64s(dt, shape, vals)
+			return a
+		}
+
+		ops := int(opsRaw)%40 + 5
+		for op := 0; op < ops; op++ {
+			switch k := rng.Intn(10); {
+			case k < 6: // append
+				a := randArray()
+				if err := tr.Append(ctx, a); err != nil {
+					return false
+				}
+				ref = append(ref, a)
+			case k < 8 && len(ref) > 0: // in-place update
+				idx := rng.Intn(len(ref))
+				a := randArray()
+				if err := tr.SetAt(ctx, uint64(idx), a); err != nil {
+					return false
+				}
+				ref[idx] = a
+			case k == 8: // flush
+				if err := ds.Flush(ctx); err != nil {
+					return false
+				}
+			default: // flush + reopen
+				if err := ds.Flush(ctx); err != nil {
+					return false
+				}
+				ds, err = Open(ctx, store)
+				if err != nil {
+					return false
+				}
+				tr = ds.Tensor("x")
+			}
+		}
+		// Final verification after a flush + reopen.
+		if err := ds.Flush(ctx); err != nil {
+			return false
+		}
+		ds, err = Open(ctx, store)
+		if err != nil {
+			return false
+		}
+		tr = ds.Tensor("x")
+		if tr.Len() != uint64(len(ref)) {
+			return false
+		}
+		for i, want := range ref {
+			got, err := tr.At(ctx, uint64(i))
+			if err != nil {
+				return false
+			}
+			if !got.Equal(want) {
+				return false
+			}
+			shape, err := tr.Shape(uint64(i))
+			if err != nil || len(shape) != want.NDim() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersionedRoundTripProperty extends the model with commits: after each
+// commit the snapshot is pinned and must keep returning its frozen contents
+// even as the head mutates.
+func TestVersionedRoundTripProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(seed))
+		ds, err := Create(ctx, storage.NewMemory(), "vprop")
+		if err != nil {
+			return false
+		}
+		tr, err := ds.CreateTensor(ctx, TensorSpec{Name: "x", Dtype: tensor.Int64, Bounds: smallBounds})
+		if err != nil {
+			return false
+		}
+		var live []int64
+		type snapshot struct {
+			id   string
+			vals []int64
+		}
+		var snaps []snapshot
+
+		ops := int(opsRaw)%25 + 5
+		for op := 0; op < ops; op++ {
+			switch k := rng.Intn(10); {
+			case k < 6:
+				v := int64(rng.Intn(1000))
+				if err := tr.Append(ctx, tensor.Scalar(tensor.Int64, float64(v))); err != nil {
+					return false
+				}
+				live = append(live, v)
+			case k < 8 && len(live) > 0:
+				idx := rng.Intn(len(live))
+				v := int64(rng.Intn(1000))
+				if err := tr.SetAt(ctx, uint64(idx), tensor.Scalar(tensor.Int64, float64(v))); err != nil {
+					return false
+				}
+				live[idx] = v
+			default:
+				id, err := ds.Commit(ctx, "snap")
+				if err != nil {
+					return false
+				}
+				snaps = append(snaps, snapshot{id: id, vals: append([]int64(nil), live...)})
+			}
+		}
+		// Every snapshot must still read back its frozen contents.
+		for _, s := range snaps {
+			old, err := ds.ReadAtVersion(ctx, s.id)
+			if err != nil {
+				return false
+			}
+			ot := old.Tensor("x")
+			if ot.Len() != uint64(len(s.vals)) {
+				return false
+			}
+			for i, want := range s.vals {
+				arr, err := ot.At(ctx, uint64(i))
+				if err != nil {
+					return false
+				}
+				if got, _ := arr.Item(); int64(got) != want {
+					return false
+				}
+			}
+		}
+		// And the head reads the live model.
+		for i, want := range live {
+			arr, err := tr.At(ctx, uint64(i))
+			if err != nil {
+				return false
+			}
+			if got, _ := arr.Item(); int64(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/compress"
+	"repro/internal/encoder"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// Tensor is one typed column of a dataset (§3.2). Appends accumulate in a
+// bounded chunk builder; reads consult the chunk encoder and fetch chunks
+// (or sub-chunk byte ranges) from the storage provider.
+type Tensor struct {
+	ds   *Dataset
+	name string
+	meta TensorMeta
+	spec tensor.HtypeSpec
+
+	chunkCodec  compress.Codec       // nil means uncompressed chunks
+	sampleCodec compress.SampleCodec // nil means raw samples
+
+	chunkEnc *encoder.ChunkEncoder
+	shapeEnc *encoder.ShapeEncoder
+	tileEnc  *encoder.TileEncoder
+	seqEnc   *encoder.SequenceEncoder
+
+	builder        *chunk.Builder
+	pendingID      uint64
+	pendingSamples []chunk.Sample
+
+	// chunkVersion maps chunk id -> version directory holding it,
+	// resolved by walking the version tree (§4.2).
+	chunkVersion map[uint64]string
+	// chunkSet holds the ids written in the current head version.
+	chunkSet map[uint64]bool
+
+	diff diffRecord
+}
+
+// newTensor builds an empty tensor from a spec and resolves codecs.
+func newTensor(ds *Dataset, spec TensorSpec) (*Tensor, error) {
+	hspec, err := tensor.ParseHtype(spec.Htype)
+	if err != nil {
+		return nil, err
+	}
+	dtype := spec.Dtype
+	if dtype == tensor.InvalidDtype {
+		dtype = hspec.Base.DefaultDtype
+		if dtype == tensor.InvalidDtype {
+			dtype = tensor.Float64 // generic fallback
+		}
+	}
+	sampleComp := spec.SampleCompression
+	if sampleComp == "" {
+		sampleComp = hspec.Base.DefaultSampleCompression
+	}
+	if hspec.Link {
+		// Linked tensors store URL strings; media codecs do not apply.
+		sampleComp = "none"
+	}
+	chunkComp := spec.ChunkCompression
+	if chunkComp == "" {
+		chunkComp = hspec.Base.DefaultChunkCompression
+	}
+	bounds := spec.Bounds
+	if bounds.Validate() != nil {
+		bounds = chunk.DefaultBounds()
+	}
+	meta := TensorMeta{
+		Htype:             hspec.String(),
+		Dtype:             dtype.String(),
+		SampleCompression: normalizeCodecName(sampleComp),
+		ChunkCompression:  normalizeCodecName(chunkComp),
+		Hidden:            spec.Hidden,
+		Bounds:            bounds,
+	}
+	t := &Tensor{
+		ds:           ds,
+		name:         spec.Name,
+		meta:         meta,
+		spec:         hspec,
+		chunkEnc:     encoder.NewChunkEncoder(),
+		shapeEnc:     encoder.NewShapeEncoder(),
+		tileEnc:      encoder.NewTileEncoder(),
+		seqEnc:       encoder.NewSequenceEncoder(),
+		builder:      chunk.NewBuilder(bounds),
+		chunkVersion: map[uint64]string{},
+		chunkSet:     map[uint64]bool{},
+	}
+	if err := t.resolveCodecs(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func normalizeCodecName(name string) string {
+	if name == "" {
+		return "none"
+	}
+	return name
+}
+
+func (t *Tensor) resolveCodecs() error {
+	if t.meta.ChunkCompression != "none" {
+		c, err := compress.ByName(t.meta.ChunkCompression)
+		if err != nil {
+			return err
+		}
+		t.chunkCodec = c
+	}
+	if t.meta.SampleCompression != "none" {
+		c, err := compress.SampleByName(t.meta.SampleCompression)
+		if err != nil {
+			return err
+		}
+		t.sampleCodec = c
+	}
+	return nil
+}
+
+// loadTensor opens a tensor from the current head version directory and
+// resolves its chunk-to-version map by walking the tree ancestry.
+func loadTensor(ctx context.Context, ds *Dataset, name string) (*Tensor, error) {
+	vid := ds.head
+	rawMeta, err := ds.store.Get(ctx, tensorMetaKey(vid, name))
+	if err != nil {
+		return nil, err
+	}
+	var meta TensorMeta
+	if err := unmarshalJSON(rawMeta, &meta); err != nil {
+		return nil, err
+	}
+	hspec, err := tensor.ParseHtype(meta.Htype)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tensor{
+		ds:           ds,
+		name:         name,
+		meta:         meta,
+		spec:         hspec,
+		chunkEnc:     encoder.NewChunkEncoder(),
+		shapeEnc:     encoder.NewShapeEncoder(),
+		tileEnc:      encoder.NewTileEncoder(),
+		seqEnc:       encoder.NewSequenceEncoder(),
+		builder:      chunk.NewBuilder(meta.Bounds),
+		chunkVersion: map[uint64]string{},
+		chunkSet:     map[uint64]bool{},
+	}
+	if err := t.resolveCodecs(); err != nil {
+		return nil, err
+	}
+	if err := loadEncoder(ctx, ds.store, chunkEncoderKey(vid, name), t.chunkEnc); err != nil {
+		return nil, err
+	}
+	if err := loadEncoder(ctx, ds.store, shapeEncoderKey(vid, name), t.shapeEnc); err != nil {
+		return nil, err
+	}
+	if err := loadEncoder(ctx, ds.store, tileEncoderKey(vid, name), t.tileEnc); err != nil {
+		return nil, err
+	}
+	if err := loadEncoder(ctx, ds.store, seqEncoderKey(vid, name), t.seqEnc); err != nil {
+		return nil, err
+	}
+	if raw, err := ds.store.Get(ctx, diffKey(vid, name)); err == nil {
+		if err := unmarshalJSON(raw, &t.diff); err != nil {
+			return nil, err
+		}
+	} else if !storage.IsNotFound(err) {
+		return nil, err
+	}
+	if err := t.resolveChunkVersions(ctx); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type binaryCodec interface {
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary([]byte) error
+}
+
+func loadEncoder(ctx context.Context, store storage.Provider, key string, enc binaryCodec) error {
+	raw, err := store.Get(ctx, key)
+	if storage.IsNotFound(err) {
+		return nil // empty encoder
+	}
+	if err != nil {
+		return err
+	}
+	return enc.UnmarshalBinary(raw)
+}
+
+// resolveChunkVersions walks the version ancestry from the current head to
+// the root, reading each version's chunk_set and recording, for every chunk
+// id, the first (newest) version that materializes it — the paper's chunk
+// resolution rule (§4.2).
+func (t *Tensor) resolveChunkVersions(ctx context.Context) error {
+	anc, err := t.ds.tree.Ancestry(t.ds.head)
+	if err != nil {
+		return err
+	}
+	t.chunkVersion = map[uint64]string{}
+	t.chunkSet = map[uint64]bool{}
+	for i, vid := range anc {
+		raw, err := t.ds.store.Get(ctx, chunkSetKey(vid, t.name))
+		if storage.IsNotFound(err) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		var set chunkSetFile
+		if err := unmarshalJSON(raw, &set); err != nil {
+			return err
+		}
+		for _, id := range set.Chunks {
+			if _, seen := t.chunkVersion[id]; !seen {
+				t.chunkVersion[id] = vid
+			}
+			if i == 0 {
+				t.chunkSet[id] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Name returns the tensor name.
+func (t *Tensor) Name() string { return t.name }
+
+// Meta returns a copy of the tensor metadata.
+func (t *Tensor) Meta() TensorMeta {
+	t.ds.mu.RLock()
+	defer t.ds.mu.RUnlock()
+	return t.meta
+}
+
+// Htype returns the parsed htype spec.
+func (t *Tensor) Htype() tensor.HtypeSpec { return t.spec }
+
+// Dtype returns the element type.
+func (t *Tensor) Dtype() tensor.Dtype {
+	d, _ := tensor.ParseDtype(t.meta.Dtype)
+	return d
+}
+
+// Len returns the logical row count.
+func (t *Tensor) Len() uint64 {
+	t.ds.mu.RLock()
+	defer t.ds.mu.RUnlock()
+	return t.meta.Length
+}
+
+// NumChunks returns the number of chunks indexed by the chunk encoder.
+func (t *Tensor) NumChunks() int {
+	t.ds.mu.RLock()
+	defer t.ds.mu.RUnlock()
+	return t.chunkEnc.NumChunks()
+}
+
+// allocChunkID hands out the next chunk id. Caller holds the write lock.
+func (t *Tensor) allocChunkID() uint64 {
+	id := t.meta.NextChunkID
+	t.meta.NextChunkID++
+	return id
+}
+
+// save persists tensor metadata, encoders, chunk set and diff into the
+// current head version directory. Caller holds the write lock.
+func (t *Tensor) save(ctx context.Context) error {
+	vid := t.ds.head
+	st := t.ds.store
+	if err := st.Put(ctx, tensorMetaKey(vid, t.name), mustJSON(t.meta)); err != nil {
+		return err
+	}
+	for key, enc := range map[string]binaryCodec{
+		chunkEncoderKey(vid, t.name): t.chunkEnc,
+		shapeEncoderKey(vid, t.name): t.shapeEnc,
+		tileEncoderKey(vid, t.name):  t.tileEnc,
+		seqEncoderKey(vid, t.name):   t.seqEnc,
+	} {
+		blob, err := enc.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := st.Put(ctx, key, blob); err != nil {
+			return err
+		}
+	}
+	ids := make([]uint64, 0, len(t.chunkSet))
+	for id := range t.chunkSet {
+		ids = append(ids, id)
+	}
+	sortUint64s(ids)
+	if err := st.Put(ctx, chunkSetKey(vid, t.name), mustJSON(chunkSetFile{Chunks: ids})); err != nil {
+		return err
+	}
+	return st.Put(ctx, diffKey(vid, t.name), mustJSON(t.diff))
+}
+
+// flushPending writes the buffered chunk to storage. Caller holds the write
+// lock.
+func (t *Tensor) flushPending(ctx context.Context) error {
+	if t.builder.Len() == 0 {
+		return nil
+	}
+	blob, _, err := t.builder.Flush()
+	if err != nil {
+		return err
+	}
+	if err := t.writeChunk(ctx, t.pendingID, blob); err != nil {
+		return err
+	}
+	t.pendingSamples = nil
+	return nil
+}
+
+// writeChunk compresses and stores one chunk blob in the head version,
+// updating the chunk set and version map. Caller holds the write lock.
+func (t *Tensor) writeChunk(ctx context.Context, id uint64, blob []byte) error {
+	if t.chunkCodec != nil {
+		var err error
+		blob, err = t.chunkCodec.Compress(blob)
+		if err != nil {
+			return err
+		}
+	}
+	if err := t.ds.store.Put(ctx, chunkKey(t.ds.head, t.name, id), blob); err != nil {
+		return err
+	}
+	t.chunkSet[id] = true
+	t.chunkVersion[id] = t.ds.head
+	return nil
+}
+
+// readChunk fetches and decompresses chunk id, resolving the owning
+// version directory through the version map.
+func (t *Tensor) readChunk(ctx context.Context, id uint64) ([]byte, error) {
+	vid, ok := t.chunkVersion[id]
+	if !ok {
+		return nil, fmt.Errorf("core: chunk %d of tensor %q not found in any version", id, t.name)
+	}
+	raw, err := t.ds.store.Get(ctx, chunkKey(vid, t.name, id))
+	if err != nil {
+		return nil, err
+	}
+	if t.chunkCodec != nil {
+		return t.chunkCodec.Decompress(raw)
+	}
+	return raw, nil
+}
+
+func sortUint64s(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := marshalJSON(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func unmarshalJSON(data []byte, v any) error { return json.Unmarshal(data, v) }

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/encoder"
+	"repro/internal/tensor"
+)
+
+func tileEntryOf(layout chunk.TileLayout, ids []uint64) encoder.TileEntry {
+	return encoder.TileEntry{Layout: layout, ChunkIDs: ids}
+}
+
+// SetAt replaces sample idx in place (§3.5 random-access writes: annotators
+// writing labels, models storing predictions). The containing chunk is
+// rewritten copy-on-write into the current head version, so committed
+// versions keep the original bytes (§4.2).
+//
+// When Strict is disabled on the dataset and idx is beyond the current
+// length, the tensor is padded with empty samples up to idx first (§3.5
+// sparse tensors).
+func (t *Tensor) SetAt(ctx context.Context, idx uint64, arr *tensor.NDArray) error {
+	t.ds.mu.Lock()
+	defer t.ds.mu.Unlock()
+	if err := t.ds.ensureWritable(); err != nil {
+		return err
+	}
+	if t.spec.Sequence {
+		return fmt.Errorf("core: SetAt on sequence tensors is not supported")
+	}
+	if idx >= t.meta.Length {
+		if t.ds.strict {
+			return fmt.Errorf("core: index %d out of bounds for tensor %q (len %d, strict mode)", idx, t.name, t.meta.Length)
+		}
+		if err := t.padToLocked(ctx, idx+1); err != nil {
+			return err
+		}
+	}
+	s, err := t.encodeSample(arr)
+	if err != nil {
+		return err
+	}
+	if err := t.replaceStored(ctx, idx, s); err != nil {
+		return err
+	}
+	if err := t.shapeEnc.Set(idx, s.Shape); err != nil {
+		return err
+	}
+	t.recordUpdate(idx)
+	return nil
+}
+
+// replaceStored swaps the stored bytes of flat sample idx. Caller holds the
+// write lock.
+func (t *Tensor) replaceStored(ctx context.Context, idx uint64, s chunk.Sample) error {
+	if _, tiled := t.tileEnc.Get(idx); tiled {
+		// Replacing a tiled sample re-tiles it from scratch.
+		arr, err := t.decodeSample(s)
+		if err != nil {
+			return err
+		}
+		if t.sampleCodec == nil {
+			arr, err = tensor.FromBytes(t.Dtype(), s.Shape, s.Data)
+			if err != nil {
+				return err
+			}
+		}
+		if err := t.appendTiledReplace(ctx, idx, arr); err != nil {
+			return err
+		}
+		return nil
+	}
+	chunkID, local, err := t.chunkEnc.Lookup(idx)
+	if err != nil {
+		return err
+	}
+	if t.builder.Len() > 0 && chunkID == t.pendingID {
+		if local >= len(t.pendingSamples) {
+			return fmt.Errorf("core: pending sample %d out of range", local)
+		}
+		old := t.pendingSamples[local]
+		grown := t.builder.PayloadBytes() - len(old.Data) + len(s.Data)
+		if grown <= t.meta.Bounds.Max || len(t.pendingSamples) == 1 {
+			t.pendingSamples[local] = s
+			return t.rebuildPending()
+		}
+		// The replacement would overflow the buffered chunk: persist
+		// the pending chunk as-is and rewrite it copy-on-write below,
+		// where chunks may exceed the bound (Rechunk repairs layout,
+		// §3.5).
+		if err := t.flushPending(ctx); err != nil {
+			return err
+		}
+	}
+	raw, err := t.readChunk(ctx, chunkID)
+	if err != nil {
+		return err
+	}
+	samples, err := chunk.Decode(raw)
+	if err != nil {
+		return err
+	}
+	if local >= len(samples) {
+		return fmt.Errorf("core: sample %d beyond chunk %d", local, chunkID)
+	}
+	samples[local] = s
+	blob, err := chunk.Encode(samples)
+	if err != nil {
+		return err
+	}
+	// Copy-on-write: the rewritten chunk lands in the head version under
+	// the same id; ancestry lookup finds the newest copy first.
+	return t.writeChunk(ctx, chunkID, blob)
+}
+
+// appendTiledReplace re-tiles a sample that was already tiled, reusing its
+// index slot.
+func (t *Tensor) appendTiledReplace(ctx context.Context, idx uint64, arr *tensor.NDArray) error {
+	layout, err := chunk.PlanTiles(arr.Shape(), arr.Dtype().Size(), t.meta.Bounds.Target)
+	if err != nil {
+		return err
+	}
+	tiles, err := layout.Split(arr)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, 0, len(tiles))
+	for _, tile := range tiles {
+		id := t.allocChunkID()
+		blob, err := chunk.Encode([]chunk.Sample{{Shape: tile.Shape(), Data: tile.Bytes()}})
+		if err != nil {
+			return err
+		}
+		if err := t.writeChunk(ctx, id, blob); err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	return t.tileEnc.Set(idx, tileEntryOf(layout, ids))
+}
+
+// rebuildPending re-syncs the chunk builder after an in-buffer update.
+func (t *Tensor) rebuildPending() error {
+	b := chunk.NewBuilder(t.meta.Bounds)
+	for _, s := range t.pendingSamples {
+		if err := b.Append(s); err != nil {
+			return err
+		}
+	}
+	t.builder = b
+	return nil
+}
+
+// recordUpdate notes idx in the commit diff, deduplicated.
+func (t *Tensor) recordUpdate(idx uint64) {
+	for _, u := range t.diff.Updated {
+		if u == idx {
+			return
+		}
+	}
+	t.diff.Updated = append(t.diff.Updated, idx)
+}
+
+// PadTo extends the tensor with empty samples until it has n rows,
+// supporting sparse out-of-bounds assignment (§3.5).
+func (t *Tensor) PadTo(ctx context.Context, n uint64) error {
+	t.ds.mu.Lock()
+	defer t.ds.mu.Unlock()
+	if err := t.ds.ensureWritable(); err != nil {
+		return err
+	}
+	return t.padToLocked(ctx, n)
+}
+
+func (t *Tensor) padToLocked(ctx context.Context, n uint64) error {
+	for t.meta.Length < n {
+		empty := chunk.Sample{Shape: []int{0}, Data: nil}
+		if err := t.appendEncodedSample(ctx, empty, nil); err != nil {
+			return err
+		}
+		t.meta.Length++
+		t.diff.AddedTo = t.meta.Length
+	}
+	return nil
+}
+
+// Rechunk rewrites the tensor's chunks at the optimal layout (§3.5: "we
+// implement an on-the-fly re-chunking algorithm to fix the data layout"
+// after random assignment degrades it). All samples are re-packed into
+// fresh bounded chunks in the current head version; the chunk encoder is
+// replaced wholesale. Tiled samples are left untouched.
+func (t *Tensor) Rechunk(ctx context.Context) error {
+	t.ds.mu.Lock()
+	defer t.ds.mu.Unlock()
+	if err := t.ds.ensureWritable(); err != nil {
+		return err
+	}
+	if err := t.flushPending(ctx); err != nil {
+		return err
+	}
+	total := t.chunkEnc.NumSamples()
+	var (
+		newIDs    []uint64
+		newCounts []int
+		builder   = chunk.NewBuilder(t.meta.Bounds)
+		curID     uint64
+		curCount  int
+	)
+	flush := func() error {
+		if builder.Len() == 0 {
+			return nil
+		}
+		blob, n, err := builder.Flush()
+		if err != nil {
+			return err
+		}
+		if err := t.writeChunk(ctx, curID, blob); err != nil {
+			return err
+		}
+		newIDs = append(newIDs, curID)
+		newCounts = append(newCounts, n)
+		curCount = 0
+		return nil
+	}
+	for idx := uint64(0); idx < total; idx++ {
+		if entry, tiled := t.tileEnc.Get(idx); tiled {
+			if err := flush(); err != nil {
+				return err
+			}
+			// Keep the tile chunks; re-register the index slot.
+			newIDs = append(newIDs, entry.ChunkIDs[0])
+			newCounts = append(newCounts, 1)
+			continue
+		}
+		s, err := t.storedSample(ctx, idx)
+		if err != nil {
+			return err
+		}
+		// Deep-copy: source chunk buffers are reused across reads.
+		cp := chunk.Sample{Shape: append([]int(nil), s.Shape...), Data: append([]byte(nil), s.Data...)}
+		if builder.ShouldFlushBefore(len(cp.Data)) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if builder.Len() == 0 {
+			curID = t.allocChunkID()
+		}
+		if err := builder.Append(cp); err != nil {
+			return err
+		}
+		curCount++
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	_ = curCount
+	return t.chunkEnc.ReplaceAll(newIDs, newCounts)
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"image"
+	"image/color"
+	_ "image/jpeg" // registered for AppendEncoded shape sniffing
+	_ "image/png"
+
+	"repro/internal/chunk"
+	"repro/internal/encoder"
+	"repro/internal/tensor"
+)
+
+// Append adds one sample to the tensor. For sequence tensors use
+// AppendSequence; for link tensors use AppendLink.
+func (t *Tensor) Append(ctx context.Context, arr *tensor.NDArray) error {
+	t.ds.mu.Lock()
+	defer t.ds.mu.Unlock()
+	if err := t.ds.ensureWritable(); err != nil {
+		return err
+	}
+	if t.spec.Sequence {
+		return fmt.Errorf("core: tensor %q is a sequence tensor; use AppendSequence", t.name)
+	}
+	if t.spec.Link {
+		return fmt.Errorf("core: tensor %q is a link tensor; use AppendLink", t.name)
+	}
+	s, err := t.encodeSample(arr)
+	if err != nil {
+		return err
+	}
+	if err := t.appendEncodedSample(ctx, s, arr); err != nil {
+		return err
+	}
+	t.meta.Length++
+	t.diff.AddedTo = t.meta.Length
+	return nil
+}
+
+// AppendBatch appends samples along the first axis of a stacked array: a
+// [N, ...] array becomes N samples of shape [...].
+func (t *Tensor) AppendBatch(ctx context.Context, batch *tensor.NDArray) error {
+	if batch.NDim() == 0 {
+		return fmt.Errorf("core: batch must have a leading axis")
+	}
+	n := batch.Shape()[0]
+	for i := 0; i < n; i++ {
+		row, err := batch.Index(i)
+		if err != nil {
+			return err
+		}
+		if err := t.Append(ctx, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendSequence adds one row of ordered items to a sequence tensor
+// (§3.3, sequence[image]). Items are validated against the base htype.
+func (t *Tensor) AppendSequence(ctx context.Context, items []*tensor.NDArray) error {
+	t.ds.mu.Lock()
+	defer t.ds.mu.Unlock()
+	if err := t.ds.ensureWritable(); err != nil {
+		return err
+	}
+	if !t.spec.Sequence {
+		return fmt.Errorf("core: tensor %q is not a sequence tensor", t.name)
+	}
+	for _, item := range items {
+		s, err := t.encodeSample(item)
+		if err != nil {
+			return err
+		}
+		if err := t.appendEncodedSample(ctx, s, item); err != nil {
+			return err
+		}
+	}
+	if err := t.seqEnc.AppendRow(len(items)); err != nil {
+		return err
+	}
+	t.meta.Length++
+	t.diff.AddedTo = t.meta.Length
+	return nil
+}
+
+// AppendLink adds a reference to externally stored data to a link tensor
+// (§4.5: linked tensors store pointers to one or multiple cloud providers).
+func (t *Tensor) AppendLink(ctx context.Context, url string) error {
+	t.ds.mu.Lock()
+	defer t.ds.mu.Unlock()
+	if err := t.ds.ensureWritable(); err != nil {
+		return err
+	}
+	if !t.spec.Link {
+		return fmt.Errorf("core: tensor %q is not a link tensor", t.name)
+	}
+	s := chunk.Sample{Shape: []int{len(url)}, Data: []byte(url)}
+	if err := t.appendEncodedSample(ctx, s, nil); err != nil {
+		return err
+	}
+	t.meta.Length++
+	t.diff.AddedTo = t.meta.Length
+	return nil
+}
+
+// AppendEncoded copies pre-encoded media bytes straight into a chunk
+// without recoding, the paper's fast ingestion path (§5: "If a raw image
+// compression matches the tensor sample compression, the binary is directly
+// copied into a chunk without additional decoding"). The sample shape is
+// sniffed from the media header.
+func (t *Tensor) AppendEncoded(ctx context.Context, data []byte) error {
+	t.ds.mu.Lock()
+	defer t.ds.mu.Unlock()
+	if err := t.ds.ensureWritable(); err != nil {
+		return err
+	}
+	if t.sampleCodec == nil {
+		return fmt.Errorf("core: tensor %q has no sample compression; AppendEncoded requires one", t.name)
+	}
+	cfg, format, err := image.DecodeConfig(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("core: cannot sniff media header: %w", err)
+	}
+	if format != t.meta.SampleCompression {
+		return fmt.Errorf("core: media format %q does not match tensor sample compression %q", format, t.meta.SampleCompression)
+	}
+	shape := []int{cfg.Height, cfg.Width, 3}
+	if cfg.ColorModel == color.GrayModel || cfg.ColorModel == color.Gray16Model {
+		shape = []int{cfg.Height, cfg.Width}
+	}
+	s := chunk.Sample{Shape: shape, Data: data}
+	if err := t.appendEncodedSample(ctx, s, nil); err != nil {
+		return err
+	}
+	t.meta.Length++
+	t.diff.AddedTo = t.meta.Length
+	return nil
+}
+
+// encodeSample validates a sample against the htype and encodes it for
+// storage: media codec output for sample-compressed tensors, raw
+// little-endian bytes otherwise.
+func (t *Tensor) encodeSample(arr *tensor.NDArray) (chunk.Sample, error) {
+	if err := t.spec.Base.Check(arr); err != nil {
+		return chunk.Sample{}, err
+	}
+	if want := t.Dtype(); arr.Dtype() != want && t.spec.Base.Name != "generic" {
+		if len(t.spec.Base.AllowedDtypes) > 0 {
+			allowed := false
+			for _, d := range t.spec.Base.AllowedDtypes {
+				if arr.Dtype() == d {
+					allowed = true
+					break
+				}
+			}
+			if !allowed {
+				return chunk.Sample{}, fmt.Errorf("core: dtype %s not allowed for tensor %q", arr.Dtype(), t.name)
+			}
+		}
+	} else if arr.Dtype() != want && t.spec.Base.Name == "generic" {
+		return chunk.Sample{}, fmt.Errorf("core: dtype %s does not match tensor %q dtype %s", arr.Dtype(), t.name, want)
+	}
+	if t.sampleCodec != nil {
+		shape := arr.Shape()
+		var h, w, c int
+		switch arr.NDim() {
+		case 2:
+			h, w, c = shape[0], shape[1], 1
+		case 3:
+			h, w, c = shape[0], shape[1], shape[2]
+		default:
+			return chunk.Sample{}, fmt.Errorf("core: sample compression requires 2-d or 3-d samples, got %d-d", arr.NDim())
+		}
+		data, err := t.sampleCodec.Encode(arr.Bytes(), h, w, c)
+		if err != nil {
+			return chunk.Sample{}, err
+		}
+		return chunk.Sample{Shape: append([]int(nil), shape...), Data: data}, nil
+	}
+	data := make([]byte, arr.NumBytes())
+	copy(data, arr.Bytes())
+	return chunk.Sample{Shape: append([]int(nil), arr.Shape()...), Data: data}, nil
+}
+
+// appendEncodedSample routes a storage-ready sample to the buffered
+// builder, an oversized single-sample chunk, or the tiling path. Caller
+// holds the write lock. arr is the decoded array when available (needed for
+// tiling); nil for media/link samples which are never tiled.
+func (t *Tensor) appendEncodedSample(ctx context.Context, s chunk.Sample, arr *tensor.NDArray) error {
+	idx := t.chunkEnc.NumSamples()
+	switch {
+	case t.builder.NeedsTiling(len(s.Data)) && arr != nil && t.sampleCodec == nil && t.spec.Base.Name != "video":
+		// Raw oversize sample: spatial tiling (§3.4).
+		if err := t.appendTiled(ctx, idx, arr); err != nil {
+			return err
+		}
+	case t.builder.NeedsTiling(len(s.Data)):
+		// Videos and compressed media stay whole in their own chunk
+		// (§3.4: "The only exception to tiling is videos").
+		if err := t.flushPending(ctx); err != nil {
+			return err
+		}
+		id := t.allocChunkID()
+		blob, err := chunk.Encode([]chunk.Sample{s})
+		if err != nil {
+			return err
+		}
+		if err := t.writeChunk(ctx, id, blob); err != nil {
+			return err
+		}
+		if err := t.chunkEnc.Append(id, 1); err != nil {
+			return err
+		}
+	default:
+		if t.builder.ShouldFlushBefore(len(s.Data)) {
+			if err := t.flushPending(ctx); err != nil {
+				return err
+			}
+		}
+		if t.builder.Len() == 0 {
+			t.pendingID = t.allocChunkID()
+		}
+		if err := t.builder.Append(s); err != nil {
+			return err
+		}
+		t.pendingSamples = append(t.pendingSamples, s)
+		if err := t.chunkEnc.Append(t.pendingID, 1); err != nil {
+			return err
+		}
+	}
+	t.shapeEnc.Append(s.Shape)
+	return nil
+}
+
+// appendTiled splits an oversize raw sample across tile chunks and records
+// the layout in the tile encoder. Caller holds the write lock.
+func (t *Tensor) appendTiled(ctx context.Context, idx uint64, arr *tensor.NDArray) error {
+	if err := t.flushPending(ctx); err != nil {
+		return err
+	}
+	layout, err := chunk.PlanTiles(arr.Shape(), arr.Dtype().Size(), t.meta.Bounds.Target)
+	if err != nil {
+		return err
+	}
+	tiles, err := layout.Split(arr)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, 0, len(tiles))
+	for _, tile := range tiles {
+		id := t.allocChunkID()
+		blob, err := chunk.Encode([]chunk.Sample{{
+			Shape: tile.Shape(),
+			Data:  tile.Bytes(),
+		}})
+		if err != nil {
+			return err
+		}
+		if err := t.writeChunk(ctx, id, blob); err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	if err := t.tileEnc.Set(idx, encoder.TileEntry{Layout: layout, ChunkIDs: ids}); err != nil {
+		return err
+	}
+	// The chunk encoder still needs a row so index arithmetic stays
+	// contiguous; the first tile chunk stands for the sample.
+	return t.chunkEnc.Append(ids[0], 1)
+}

@@ -1,0 +1,111 @@
+package dataloader
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+)
+
+// chunkCache is the loader's buffer of fetched-but-not-yet-consumed chunk
+// data (§3.5: "maintaining a buffer cache of fetched and unutilized data").
+// It deduplicates concurrent fetches of the same chunk (so a shuffled batch
+// touching one chunk pays one GET) and evicts least-recently-used chunks
+// once the byte budget is exceeded.
+type chunkCache struct {
+	budget int64
+
+	mu       sync.Mutex
+	entries  map[cacheKey]*list.Element
+	order    *list.List // front = most recently used
+	used     int64
+	inflight map[cacheKey]*fetchCall
+
+	hits, misses int64
+}
+
+type cacheKey struct {
+	tensor  string
+	chunkID uint64
+}
+
+type cacheEntry struct {
+	key     cacheKey
+	samples []chunk.Sample
+	bytes   int64
+}
+
+type fetchCall struct {
+	done    chan struct{}
+	samples []chunk.Sample
+	err     error
+}
+
+func newChunkCache(budget int64) *chunkCache {
+	return &chunkCache{
+		budget:   budget,
+		entries:  map[cacheKey]*list.Element{},
+		order:    list.New(),
+		inflight: map[cacheKey]*fetchCall{},
+	}
+}
+
+// get returns the samples of one chunk, fetching through t once per chunk
+// regardless of how many workers ask concurrently.
+func (c *chunkCache) get(ctx context.Context, t *core.Tensor, chunkID uint64) ([]chunk.Sample, error) {
+	key := cacheKey{tensor: t.Name(), chunkID: chunkID}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		samples := el.Value.(*cacheEntry).samples
+		c.mu.Unlock()
+		return samples, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.samples, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &fetchCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	samples, err := t.ReadChunkSamples(ctx, chunkID)
+	call.samples, call.err = samples, err
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		var bytes int64
+		for _, s := range samples {
+			bytes += int64(len(s.Data))
+		}
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, samples: samples, bytes: bytes})
+		c.used += bytes
+		for c.used > c.budget && c.order.Len() > 1 {
+			back := c.order.Back()
+			ent := back.Value.(*cacheEntry)
+			c.order.Remove(back)
+			delete(c.entries, ent.key)
+			c.used -= ent.bytes
+		}
+	}
+	c.mu.Unlock()
+	return samples, err
+}
+
+// stats reports cache hits and misses.
+func (c *chunkCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,374 @@
+// Package dataloader implements the streaming dataloader of §4.6: parallel
+// chunk fetching, per-worker decompression and user transforms, collation
+// into batches, and bounded prefetching — delivering data fast enough that
+// the (simulated) accelerator, not IO, is the bottleneck.
+//
+// The pipeline is:
+//
+//	sampler -> fetch+decode+transform workers -> reorder -> collate -> Batches()
+//
+// Chunks are fetched once into a byte-budgeted buffer cache regardless of
+// how many samples or workers need them; media decoding runs inside the
+// worker pool (the Go analogue of the paper's per-process C++ decode that
+// avoids the Python GIL).
+package dataloader
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/view"
+)
+
+// Transform mutates one sample row; it runs inside the worker pool and must
+// be safe for concurrent use.
+type Transform func(map[string]*tensor.NDArray) (map[string]*tensor.NDArray, error)
+
+// Options configures a Loader.
+type Options struct {
+	// BatchSize is the number of samples per batch (default 1).
+	BatchSize int
+	// Fields restricts the loaded columns; nil loads every view column.
+	// Loading fewer tensors streams fewer chunks (§3.1 partial access).
+	Fields []string
+	// Shuffle enables chunk-aware shuffled streaming (§3.5).
+	Shuffle bool
+	// ShuffleBuffer is the shuffle buffer size in samples (default 2048).
+	ShuffleBuffer int
+	// Seed makes shuffling reproducible.
+	Seed int64
+	// Workers sets the fetch/decode/transform worker count (default
+	// GOMAXPROCS).
+	Workers int
+	// Prefetch is the number of batches buffered ahead of the consumer
+	// (default 4).
+	Prefetch int
+	// Transform is applied per sample in the worker pool.
+	Transform Transform
+	// DropLast drops a trailing partial batch.
+	DropLast bool
+	// MemoryBudget caps the chunk buffer cache in bytes (default 256MB).
+	// This is the loader's "efficient resource allocation" bound (§4.6).
+	MemoryBudget int64
+	// Decode controls media decoding of sample-compressed tensors.
+	// When false, raw stored bytes are exposed as 1-d uint8 arrays
+	// (useful for byte-throughput benchmarks). Default true.
+	RawBytes bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Prefetch <= 0 {
+		o.Prefetch = 4
+	}
+	if o.ShuffleBuffer <= 0 {
+		o.ShuffleBuffer = 2048
+	}
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = 256 << 20
+	}
+	return o
+}
+
+// Batch is one collated batch.
+type Batch struct {
+	// Index is the batch sequence number, starting at zero.
+	Index int
+	// Samples holds the per-sample column maps, in order.
+	Samples []map[string]*tensor.NDArray
+	// Stacked holds, per column, samples stacked along a new leading
+	// axis — present only for columns whose samples share shape and
+	// dtype (the deep-learning collation of §4.6).
+	Stacked map[string]*tensor.NDArray
+}
+
+// Loader streams batches from a view.
+type Loader struct {
+	v     *view.View
+	opts  Options
+	cache *chunkCache
+
+	err  atomic.Value // error
+	rows int64        // rows delivered (stats)
+}
+
+// New builds a loader over a view.
+func New(v *view.View, opts Options) *Loader {
+	opts = opts.withDefaults()
+	return &Loader{v: v, opts: opts, cache: newChunkCache(opts.MemoryBudget)}
+}
+
+// ForDataset is a convenience wrapper over the identity view.
+func ForDataset(ds *core.Dataset, opts Options) *Loader {
+	return New(view.All(ds), opts)
+}
+
+// Err returns the first pipeline error once Batches' channel is closed.
+func (l *Loader) Err() error {
+	if e, ok := l.err.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// Rows reports how many samples have been delivered.
+func (l *Loader) Rows() int64 { return atomic.LoadInt64(&l.rows) }
+
+// CacheStats reports chunk buffer cache hits and misses.
+func (l *Loader) CacheStats() (hits, misses int64) { return l.cache.stats() }
+
+// columns resolves the output column subset.
+func (l *Loader) columns() ([]view.Column, error) {
+	all := l.v.Columns()
+	if l.opts.Fields == nil {
+		return all, nil
+	}
+	var out []view.Column
+	for _, f := range l.opts.Fields {
+		found := false
+		for _, c := range all {
+			if c.Name == f {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dataloader: unknown field %q", f)
+		}
+	}
+	return out, nil
+}
+
+// primaryColumn picks the column whose chunk layout drives shuffling: the
+// first identity column (typically the large media tensor).
+func primaryColumn(cols []view.Column) string {
+	for _, c := range cols {
+		if c.Source != "" {
+			return c.Source
+		}
+	}
+	return ""
+}
+
+type job struct {
+	seq int
+	row int
+}
+
+type result struct {
+	seq    int
+	sample map[string]*tensor.NDArray
+	err    error
+}
+
+// Batches starts the pipeline and returns the batch channel. The channel
+// closes when the epoch completes, the context is cancelled, or an error
+// occurs (check Err afterwards). Batches may only be called once per
+// Loader.
+func (l *Loader) Batches(ctx context.Context) <-chan Batch {
+	out := make(chan Batch, l.opts.Prefetch)
+	cols, err := l.columns()
+	if err != nil {
+		l.err.Store(err)
+		close(out)
+		return out
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s := newSampler(l.v, l.opts.Shuffle, l.opts.ShuffleBuffer, l.opts.Seed, primaryColumn(cols))
+
+	jobs := make(chan job, l.opts.Workers*2)
+	results := make(chan result, l.opts.Workers*2)
+
+	// Job feeder.
+	go func() {
+		defer close(jobs)
+		for seq, row := range s.order {
+			select {
+			case jobs <- job{seq: seq, row: row}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: fetch (through the chunk cache), decode, transform.
+	var wg sync.WaitGroup
+	for w := 0; w < l.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sample, err := l.loadSample(ctx, cols, j.row)
+				select {
+				case results <- result{seq: j.seq, sample: sample, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder + collate + emit.
+	go func() {
+		defer cancel()
+		defer close(out)
+		pending := map[int]result{}
+		next := 0
+		batchIdx := 0
+		var cur []map[string]*tensor.NDArray
+		flush := func(force bool) bool {
+			if len(cur) == 0 {
+				return true
+			}
+			if !force && len(cur) < l.opts.BatchSize {
+				return true
+			}
+			if force && l.opts.DropLast && len(cur) < l.opts.BatchSize {
+				cur = nil
+				return true
+			}
+			b := Batch{Index: batchIdx, Samples: cur, Stacked: collate(cur)}
+			batchIdx++
+			cur = nil
+			select {
+			case out <- b:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for r := range results {
+			pending[r.seq] = r
+			for {
+				rr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				if rr.err != nil {
+					l.err.Store(rr.err)
+					return
+				}
+				cur = append(cur, rr.sample)
+				atomic.AddInt64(&l.rows, 1)
+				if len(cur) == l.opts.BatchSize {
+					if !flush(false) {
+						return
+					}
+				}
+			}
+		}
+		if ctx.Err() != nil && l.err.Load() == nil {
+			l.err.Store(ctx.Err())
+		}
+		flush(true)
+	}()
+	return out
+}
+
+// loadSample materializes one row of the selected columns.
+func (l *Loader) loadSample(ctx context.Context, cols []view.Column, row int) (map[string]*tensor.NDArray, error) {
+	src, err := l.v.SourceRow(row)
+	if err != nil {
+		return nil, err
+	}
+	sample := make(map[string]*tensor.NDArray, len(cols))
+	for _, c := range cols {
+		var arr *tensor.NDArray
+		switch {
+		case c.Eval != nil:
+			arr, err = c.Eval(ctx, src)
+		case c.Source != "":
+			arr, err = l.loadStored(ctx, c.Source, src)
+		default:
+			err = fmt.Errorf("dataloader: column %q has neither source nor eval", c.Name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataloader: row %d column %q: %w", row, c.Name, err)
+		}
+		sample[c.Name] = arr
+	}
+	if l.opts.Transform != nil {
+		out, err := l.opts.Transform(sample)
+		if err != nil {
+			return nil, fmt.Errorf("dataloader: transform at row %d: %w", row, err)
+		}
+		sample = out
+	}
+	return sample, nil
+}
+
+// loadStored reads one stored sample through the chunk cache and decodes it
+// in this worker.
+func (l *Loader) loadStored(ctx context.Context, tensorName string, src uint64) (*tensor.NDArray, error) {
+	t := l.v.Dataset().Tensor(tensorName)
+	if t == nil {
+		return nil, fmt.Errorf("dataloader: unknown tensor %q", tensorName)
+	}
+	// Sequence/link/tiled samples take the tensor's own read path.
+	if t.Htype().Sequence || t.Htype().Link {
+		return t.At(ctx, src)
+	}
+	chunkID, local, err := t.ChunkOf(src)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := l.cache.get(ctx, t, chunkID)
+	if err != nil {
+		return nil, err
+	}
+	if local >= len(samples) {
+		// Tiled samples register under their first tile chunk; fall
+		// back to the tensor read path.
+		return t.At(ctx, src)
+	}
+	s := samples[local]
+	if l.opts.RawBytes {
+		data := make([]byte, len(s.Data))
+		copy(data, s.Data)
+		return tensor.FromBytes(tensor.UInt8, []int{len(data)}, data)
+	}
+	return t.DecodeStored(s.Data, s.Shape)
+}
+
+// collate stacks equal-shape columns along a new batch axis.
+func collate(samples []map[string]*tensor.NDArray) map[string]*tensor.NDArray {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := map[string]*tensor.NDArray{}
+	for name := range samples[0] {
+		arrs := make([]*tensor.NDArray, 0, len(samples))
+		for _, s := range samples {
+			a, ok := s[name]
+			if !ok {
+				arrs = nil
+				break
+			}
+			arrs = append(arrs, a)
+		}
+		if arrs == nil {
+			continue
+		}
+		if stacked, err := tensor.Stack(arrs); err == nil {
+			out[name] = stacked
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package dataloader
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/view"
+)
+
+// VisitOrder exposes the row order a loader over the full dataset would
+// visit with the given shuffle settings; ablation benchmarks use it to
+// score shuffle quality without streaming any data.
+func VisitOrder(ds *core.Dataset, shuffle bool, shuffleBuffer int, seed int64) []int {
+	v := view.All(ds)
+	s := newSampler(v, shuffle, shuffleBuffer, seed, primaryColumn(v.Columns()))
+	return s.order
+}
+
+// sampler produces the order in which view rows are visited.
+//
+// Sequential order visits rows as stored, which streams chunks exactly once
+// front to back. Shuffled order implements the paper's chunk-aware shuffle
+// (§3.5): the chunk visit order is randomized and samples spill through a
+// bounded shuffle buffer, giving near-uniform shuffling while keeping chunk
+// locality — no shuffle cluster required.
+type sampler struct {
+	order []int
+}
+
+func newSampler(v *view.View, shuffle bool, shuffleBuffer int, seed int64, primary string) *sampler {
+	n := v.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if !shuffle || n <= 1 {
+		return &sampler{order: order}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Group view rows by the chunk of the primary tensor so the fetch
+	// stage sees chunk-local runs.
+	groups := map[uint64][]int{}
+	var groupKeys []uint64
+	t := v.Dataset().Tensor(primary)
+	for row := 0; row < n; row++ {
+		src, err := v.SourceRow(row)
+		if err != nil {
+			continue
+		}
+		var key uint64
+		if t != nil {
+			if id, _, err := t.ChunkOf(src); err == nil {
+				key = id
+			}
+		} else {
+			key = src // no primary tensor: degenerate per-row groups
+		}
+		if _, ok := groups[key]; !ok {
+			groupKeys = append(groupKeys, key)
+		}
+		groups[key] = append(groups[key], row)
+	}
+	// Randomize chunk visit order.
+	rng.Shuffle(len(groupKeys), func(i, j int) { groupKeys[i], groupKeys[j] = groupKeys[j], groupKeys[i] })
+
+	// Spill through a bounded shuffle buffer.
+	if shuffleBuffer <= 0 {
+		shuffleBuffer = 2048
+	}
+	buf := make([]int, 0, shuffleBuffer)
+	out := make([]int, 0, n)
+	emit := func() {
+		k := rng.Intn(len(buf))
+		out = append(out, buf[k])
+		buf[k] = buf[len(buf)-1]
+		buf = buf[:len(buf)-1]
+	}
+	for _, key := range groupKeys {
+		for _, row := range groups[key] {
+			if len(buf) == shuffleBuffer {
+				emit()
+			}
+			buf = append(buf, row)
+		}
+	}
+	for len(buf) > 0 {
+		emit()
+	}
+	return &sampler{order: out}
+}

@@ -1,0 +1,155 @@
+package simnet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	for _, p := range []Profile{Local(), S3SameRegion(), S3CrossRegion(), MinIOLAN()} {
+		if p.Name == "" {
+			t.Errorf("profile missing name: %+v", p)
+		}
+		if p.Lanes <= 0 {
+			t.Errorf("%s: lanes must be positive", p.Name)
+		}
+		if p.ReadBytesPerSec <= 0 || p.WriteBytesPerSec <= 0 {
+			t.Errorf("%s: bandwidth must be positive", p.Name)
+		}
+		if p.TimeScale <= 0 {
+			t.Errorf("%s: time scale must be positive", p.Name)
+		}
+	}
+}
+
+func TestReadChargesLatencyAndBandwidth(t *testing.T) {
+	p := Profile{
+		Name:            "test",
+		ReadLatency:     10 * time.Millisecond,
+		ReadBytesPerSec: 1e6, // 1MB/s
+		Lanes:           1,
+		TimeScale:       1e9, // effectively no real sleeping
+	}
+	n := NewNetwork(p)
+	if err := n.Read(context.Background(), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	_, _, out, sim := n.Stats()
+	if out != 1_000_000 {
+		t.Fatalf("bytesOut = %d, want 1000000", out)
+	}
+	want := 10*time.Millisecond + time.Second
+	if sim != want {
+		t.Fatalf("simulated = %v, want %v", sim, want)
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	n := NewNetwork(Profile{Name: "t", WriteLatency: time.Millisecond, WriteBytesPerSec: 1e6, Lanes: 2, TimeScale: 1e9})
+	for i := 0; i < 5; i++ {
+		if err := n.Write(context.Background(), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, in, _, _ := n.Stats()
+	if req != 5 || in != 500 {
+		t.Fatalf("requests=%d bytesIn=%d, want 5, 500", req, in)
+	}
+}
+
+func TestLaneContention(t *testing.T) {
+	// With one lane and a measurable scaled delay, two concurrent reads
+	// must serialize: total wall time >= 2 * per-request time.
+	p := Profile{
+		Name:        "serial",
+		ReadLatency: 20 * time.Millisecond,
+		Lanes:       1,
+		TimeScale:   2, // each request sleeps 10ms real time
+	}
+	n := NewNetwork(p)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := n.Read(context.Background(), 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if el := time.Since(start); el < 18*time.Millisecond {
+		t.Fatalf("two requests on one lane finished in %v; expected serialization >= ~20ms", el)
+	}
+}
+
+func TestParallelLanesOverlap(t *testing.T) {
+	p := Profile{
+		Name:        "parallel",
+		ReadLatency: 20 * time.Millisecond,
+		Lanes:       8,
+		TimeScale:   2, // 10ms real per request
+	}
+	n := NewNetwork(p)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := n.Read(context.Background(), 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if el := time.Since(start); el > 60*time.Millisecond {
+		t.Fatalf("8 requests on 8 lanes took %v; expected overlap well under 80ms", el)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	p := Profile{Name: "slow", ReadLatency: time.Hour, Lanes: 1, TimeScale: 1}
+	n := NewNetwork(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- n.Read(ctx, 0) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read did not observe cancellation")
+	}
+}
+
+func TestCancelledWhileQueuedForLane(t *testing.T) {
+	p := Profile{Name: "busy", ReadLatency: time.Hour, Lanes: 1, TimeScale: 1}
+	n := NewNetwork(p)
+	// Occupy the only lane.
+	bg, cancelBG := context.WithCancel(context.Background())
+	defer cancelBG()
+	go n.Read(bg, 0)
+	time.Sleep(5 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := n.Read(ctx, 0); err != context.DeadlineExceeded {
+		t.Fatalf("queued read err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestZeroByteCosts(t *testing.T) {
+	if d := bytesDuration(0, 1e6); d != 0 {
+		t.Fatalf("bytesDuration(0) = %v, want 0", d)
+	}
+	if d := bytesDuration(100, 0); d != 0 {
+		t.Fatalf("bytesDuration with zero bandwidth = %v, want 0", d)
+	}
+}

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// LRU chains a fast cache in front of a slower origin provider (§3.6: "LRU
+// cache of remote S3 storage with local in-memory data"). Whole objects are
+// cached on Get and Put; range reads consult the cache and fall back to a
+// range request against the origin without promoting the full object, so
+// streaming sub-chunk access never inflates the cache with 8MB chunks the
+// training loop only needed a slice of.
+type LRU struct {
+	origin   Provider
+	capacity int64
+
+	mu    sync.Mutex
+	used  int64
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry struct {
+	key  string
+	data []byte
+}
+
+// NewLRU wraps origin with an in-memory LRU cache of the given byte
+// capacity.
+func NewLRU(origin Provider, capacity int64) *LRU {
+	return &LRU{
+		origin:   origin,
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Origin returns the wrapped provider.
+func (l *LRU) Origin() Provider { return l.origin }
+
+// Stats reports cache hits, misses, and resident bytes.
+func (l *LRU) Stats() (hits, misses, usedBytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses, l.used
+}
+
+func (l *LRU) lookup(key string) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		l.misses++
+		return nil, false
+	}
+	l.hits++
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (l *LRU) admit(key string, data []byte) {
+	if int64(len(data)) > l.capacity {
+		return // object larger than the whole cache
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		l.used += int64(len(data)) - int64(len(el.Value.(*lruEntry).data))
+		el.Value.(*lruEntry).data = data
+		l.order.MoveToFront(el)
+	} else {
+		l.items[key] = l.order.PushFront(&lruEntry{key: key, data: data})
+		l.used += int64(len(data))
+	}
+	for l.used > l.capacity {
+		back := l.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*lruEntry)
+		l.order.Remove(back)
+		delete(l.items, ent.key)
+		l.used -= int64(len(ent.data))
+	}
+}
+
+func (l *LRU) evict(key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		l.order.Remove(el)
+		delete(l.items, key)
+		l.used -= int64(len(el.Value.(*lruEntry).data))
+	}
+}
+
+// Get implements Provider.
+func (l *LRU) Get(ctx context.Context, key string) ([]byte, error) {
+	if data, ok := l.lookup(key); ok {
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, nil
+	}
+	data, err := l.origin.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	l.admit(key, data)
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// GetRange implements Provider.
+func (l *LRU) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	if data, ok := l.lookup(key); ok {
+		lo, hi, ok := clampRange(int64(len(data)), offset, length)
+		if !ok {
+			return nil, rangeErr(key, offset, length, int64(len(data)))
+		}
+		out := make([]byte, hi-lo)
+		copy(out, data[lo:hi])
+		return out, nil
+	}
+	return l.origin.GetRange(ctx, key, offset, length)
+}
+
+// Put implements Provider. Write-through: the object lands in the origin and
+// the cache.
+func (l *LRU) Put(ctx context.Context, key string, data []byte) error {
+	if err := l.origin.Put(ctx, key, data); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	l.admit(key, cp)
+	return nil
+}
+
+// Delete implements Provider.
+func (l *LRU) Delete(ctx context.Context, key string) error {
+	l.evict(key)
+	return l.origin.Delete(ctx, key)
+}
+
+// Exists implements Provider.
+func (l *LRU) Exists(ctx context.Context, key string) (bool, error) {
+	if _, ok := l.lookup(key); ok {
+		return true, nil
+	}
+	return l.origin.Exists(ctx, key)
+}
+
+// List implements Provider. Listing always consults the origin: the cache
+// holds a subset and cannot answer authoritatively.
+func (l *LRU) List(ctx context.Context, prefix string) ([]string, error) {
+	return l.origin.List(ctx, prefix)
+}
+
+// Size implements Provider.
+func (l *LRU) Size(ctx context.Context, key string) (int64, error) {
+	if data, ok := l.lookup(key); ok {
+		return int64(len(data)), nil
+	}
+	return l.origin.Size(ctx, key)
+}

@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Memory is an in-process provider backed by a map. It is the fastest
+// backend and the building block for the simulated object stores.
+type Memory struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemory returns an empty in-memory provider.
+func NewMemory() *Memory {
+	return &Memory{objects: make(map[string][]byte)}
+}
+
+// Get implements Provider.
+func (m *Memory) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	data, ok := m.objects[key]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// GetRange implements Provider.
+func (m *Memory) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	data, ok := m.objects[key]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	lo, hi, ok := clampRange(int64(len(data)), offset, length)
+	if !ok {
+		return nil, rangeErr(key, offset, length, int64(len(data)))
+	}
+	out := make([]byte, hi-lo)
+	copy(out, data[lo:hi])
+	return out, nil
+}
+
+// Put implements Provider.
+func (m *Memory) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.objects[key] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Delete implements Provider.
+func (m *Memory) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.objects, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// Exists implements Provider.
+func (m *Memory) Exists(ctx context.Context, key string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	m.mu.RLock()
+	_, ok := m.objects[key]
+	m.mu.RUnlock()
+	return ok, nil
+}
+
+// List implements Provider.
+func (m *Memory) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	keys := make([]string, 0, len(m.objects))
+	for k := range m.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Size implements Provider.
+func (m *Memory) Size(ctx context.Context, key string) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	data, ok := m.objects[key]
+	m.mu.RUnlock()
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return int64(len(data)), nil
+}
+
+// TotalBytes reports the sum of all object sizes, used by storage-footprint
+// ablations.
+func (m *Memory) TotalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	for _, v := range m.objects {
+		n += int64(len(v))
+	}
+	return n
+}
+
+// Len reports the number of stored objects.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.objects)
+}

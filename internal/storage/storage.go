@@ -1,0 +1,63 @@
+// Package storage defines the pluggable storage-provider abstraction from
+// §3.6 of the paper. A Deep Lake dataset is a flat namespace of objects
+// (chunks, encoders, metadata files) that can live on object storage, a POSIX
+// filesystem, or in memory, and providers can be chained — most importantly
+// an LRU cache of a remote store backed by local memory.
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is returned when a key does not exist in a provider.
+var ErrNotFound = errors.New("storage: key not found")
+
+// IsNotFound reports whether err indicates a missing key.
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
+
+// Provider is the minimal object-store contract the Tensor Storage Format
+// needs: whole-object get/put, byte-range get (S3 Range requests power
+// sub-chunk streaming, §3.5), existence checks, listing, and delete.
+//
+// Implementations must be safe for concurrent use.
+type Provider interface {
+	// Get returns the full object stored under key.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// GetRange returns length bytes starting at offset. If length is
+	// negative, it returns everything from offset to the end. Reads past
+	// the end are truncated, mirroring HTTP Range semantics.
+	GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error)
+	// Put stores data under key, replacing any previous object.
+	Put(ctx context.Context, key string, data []byte) error
+	// Delete removes key. Deleting a missing key is not an error.
+	Delete(ctx context.Context, key string) error
+	// Exists reports whether key is present.
+	Exists(ctx context.Context, key string) (bool, error)
+	// List returns all keys with the given prefix, in lexical order.
+	List(ctx context.Context, prefix string) ([]string, error)
+	// Size returns the byte length of the object at key.
+	Size(ctx context.Context, key string) (int64, error)
+}
+
+// clampRange resolves an (offset, length) pair against an object of size n
+// using HTTP Range semantics. ok is false when offset is out of bounds.
+func clampRange(n int64, offset, length int64) (lo, hi int64, ok bool) {
+	if offset < 0 || offset > n {
+		return 0, 0, false
+	}
+	if length < 0 {
+		return offset, n, true
+	}
+	hi = offset + length
+	if hi > n {
+		hi = n
+	}
+	return offset, hi, true
+}
+
+// rangeErr builds a descriptive out-of-range error.
+func rangeErr(key string, offset, length, size int64) error {
+	return fmt.Errorf("storage: range [%d, %d+%d) out of bounds for %q (size %d)", offset, offset, length, key, size)
+}

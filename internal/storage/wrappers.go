@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Prefix exposes a sub-tree of a provider as its own flat namespace,
+// the way each dataset version lives in its own sub-directory (§4.2).
+type Prefix struct {
+	inner  Provider
+	prefix string
+}
+
+// NewPrefix returns a view of inner rooted at prefix. A trailing slash is
+// appended if missing.
+func NewPrefix(inner Provider, prefix string) *Prefix {
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return &Prefix{inner: inner, prefix: prefix}
+}
+
+func (p *Prefix) key(k string) string { return p.prefix + k }
+
+// Get implements Provider.
+func (p *Prefix) Get(ctx context.Context, key string) ([]byte, error) {
+	return p.inner.Get(ctx, p.key(key))
+}
+
+// GetRange implements Provider.
+func (p *Prefix) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	return p.inner.GetRange(ctx, p.key(key), offset, length)
+}
+
+// Put implements Provider.
+func (p *Prefix) Put(ctx context.Context, key string, data []byte) error {
+	return p.inner.Put(ctx, p.key(key), data)
+}
+
+// Delete implements Provider.
+func (p *Prefix) Delete(ctx context.Context, key string) error {
+	return p.inner.Delete(ctx, p.key(key))
+}
+
+// Exists implements Provider.
+func (p *Prefix) Exists(ctx context.Context, key string) (bool, error) {
+	return p.inner.Exists(ctx, p.key(key))
+}
+
+// List implements Provider; returned keys are relative to the prefix.
+func (p *Prefix) List(ctx context.Context, prefix string) ([]string, error) {
+	keys, err := p.inner.List(ctx, p.key(prefix))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = strings.TrimPrefix(k, p.prefix)
+	}
+	return out, nil
+}
+
+// Size implements Provider.
+func (p *Prefix) Size(ctx context.Context, key string) (int64, error) {
+	return p.inner.Size(ctx, p.key(key))
+}
+
+// Counting wraps a provider and tallies operations and bytes moved, used by
+// benchmarks to report request counts alongside wall time.
+type Counting struct {
+	inner Provider
+
+	Gets, RangeGets, Puts, Deletes, Lists int64
+	BytesRead, BytesWritten               int64
+}
+
+// NewCounting wraps inner with operation counters.
+func NewCounting(inner Provider) *Counting { return &Counting{inner: inner} }
+
+// Get implements Provider.
+func (c *Counting) Get(ctx context.Context, key string) ([]byte, error) {
+	atomic.AddInt64(&c.Gets, 1)
+	data, err := c.inner.Get(ctx, key)
+	if err == nil {
+		atomic.AddInt64(&c.BytesRead, int64(len(data)))
+	}
+	return data, err
+}
+
+// GetRange implements Provider.
+func (c *Counting) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	atomic.AddInt64(&c.RangeGets, 1)
+	data, err := c.inner.GetRange(ctx, key, offset, length)
+	if err == nil {
+		atomic.AddInt64(&c.BytesRead, int64(len(data)))
+	}
+	return data, err
+}
+
+// Put implements Provider.
+func (c *Counting) Put(ctx context.Context, key string, data []byte) error {
+	atomic.AddInt64(&c.Puts, 1)
+	atomic.AddInt64(&c.BytesWritten, int64(len(data)))
+	return c.inner.Put(ctx, key, data)
+}
+
+// Delete implements Provider.
+func (c *Counting) Delete(ctx context.Context, key string) error {
+	atomic.AddInt64(&c.Deletes, 1)
+	return c.inner.Delete(ctx, key)
+}
+
+// Exists implements Provider.
+func (c *Counting) Exists(ctx context.Context, key string) (bool, error) {
+	return c.inner.Exists(ctx, key)
+}
+
+// List implements Provider.
+func (c *Counting) List(ctx context.Context, prefix string) ([]string, error) {
+	atomic.AddInt64(&c.Lists, 1)
+	return c.inner.List(ctx, prefix)
+}
+
+// Size implements Provider.
+func (c *Counting) Size(ctx context.Context, key string) (int64, error) {
+	return c.inner.Size(ctx, key)
+}
+
+// Requests returns the total read-path request count.
+func (c *Counting) Requests() int64 {
+	return atomic.LoadInt64(&c.Gets) + atomic.LoadInt64(&c.RangeGets)
+}
+
+// Flaky injects failures into a provider for failure-injection tests: every
+// Nth read-path operation returns err.
+type Flaky struct {
+	inner Provider
+	every int64
+	err   error
+
+	mu    sync.Mutex
+	count int64
+}
+
+// NewFlaky returns a provider that fails every n-th read with err.
+func NewFlaky(inner Provider, n int64, err error) *Flaky {
+	return &Flaky{inner: inner, every: n, err: err}
+}
+
+func (f *Flaky) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.count++
+	if f.every > 0 && f.count%f.every == 0 {
+		return f.err
+	}
+	return nil
+}
+
+// Get implements Provider.
+func (f *Flaky) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.inner.Get(ctx, key)
+}
+
+// GetRange implements Provider.
+func (f *Flaky) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.inner.GetRange(ctx, key, offset, length)
+}
+
+// Put implements Provider.
+func (f *Flaky) Put(ctx context.Context, key string, data []byte) error {
+	return f.inner.Put(ctx, key, data)
+}
+
+// Delete implements Provider.
+func (f *Flaky) Delete(ctx context.Context, key string) error { return f.inner.Delete(ctx, key) }
+
+// Exists implements Provider.
+func (f *Flaky) Exists(ctx context.Context, key string) (bool, error) {
+	return f.inner.Exists(ctx, key)
+}
+
+// List implements Provider.
+func (f *Flaky) List(ctx context.Context, prefix string) ([]string, error) {
+	return f.inner.List(ctx, prefix)
+}
+
+// Size implements Provider.
+func (f *Flaky) Size(ctx context.Context, key string) (int64, error) {
+	return f.inner.Size(ctx, key)
+}

@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func arr(t *testing.T, d Dtype, shape []int, vals ...float64) *NDArray {
+	t.Helper()
+	a, err := FromFloat64s(d, shape, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := arr(t, Float64, []int{3}, 1, 2, 3)
+	b := arr(t, Float64, []int{3}, 10, 20, 30)
+
+	sum, err := a.Add(b)
+	if err != nil || !reflect.DeepEqual(sum.Float64s(), []float64{11, 22, 33}) {
+		t.Fatalf("Add = %v, %v", sum.Float64s(), err)
+	}
+	diff, _ := b.Sub(a)
+	if !reflect.DeepEqual(diff.Float64s(), []float64{9, 18, 27}) {
+		t.Fatalf("Sub = %v", diff.Float64s())
+	}
+	prod, _ := a.Mul(b)
+	if !reflect.DeepEqual(prod.Float64s(), []float64{10, 40, 90}) {
+		t.Fatalf("Mul = %v", prod.Float64s())
+	}
+	quot, _ := b.Div(a)
+	if !reflect.DeepEqual(quot.Float64s(), []float64{10, 10, 10}) {
+		t.Fatalf("Div = %v", quot.Float64s())
+	}
+}
+
+func TestScalarBroadcast(t *testing.T) {
+	a := arr(t, Int32, []int{2, 2}, 1, 2, 3, 4)
+	s := Scalar(Float64, 10)
+	sum, err := a.Add(s)
+	if err != nil || !reflect.DeepEqual(sum.Float64s(), []float64{11, 12, 13, 14}) {
+		t.Fatalf("array+scalar = %v, %v", sum.Float64s(), err)
+	}
+	sum2, err := s.Add(a)
+	if err != nil || !reflect.DeepEqual(sum2.Float64s(), []float64{11, 12, 13, 14}) {
+		t.Fatalf("scalar+array = %v, %v", sum2.Float64s(), err)
+	}
+	diff, err := s.Sub(a)
+	if err != nil || !reflect.DeepEqual(diff.Float64s(), []float64{9, 8, 7, 6}) {
+		t.Fatalf("scalar-array = %v, %v", diff.Float64s(), err)
+	}
+	b := arr(t, Int32, []int{3}, 1, 2, 3)
+	if _, err := a.Add(b); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := arr(t, Int32, []int{4}, 4, -1, 7, 2)
+	if a.Sum() != 12 || a.Mean() != 3 || a.Min() != -1 || a.Max() != 7 {
+		t.Fatalf("sum=%v mean=%v min=%v max=%v", a.Sum(), a.Mean(), a.Min(), a.Max())
+	}
+	empty := MustNew(Float64, 0)
+	if !math.IsNaN(empty.Mean()) {
+		t.Fatal("mean of empty should be NaN")
+	}
+	if !math.IsInf(empty.Min(), 1) || !math.IsInf(empty.Max(), -1) {
+		t.Fatal("min/max of empty should be ±Inf")
+	}
+	if empty.Any() || !empty.All() {
+		t.Fatal("Any(empty)=false, All(empty)=true expected")
+	}
+	z := arr(t, Int32, []int{3}, 0, 0, 1)
+	if !z.Any() || z.All() {
+		t.Fatal("Any/All on mixed values")
+	}
+}
+
+func TestAxisReductions(t *testing.T) {
+	// 2x3: [[1,2,3],[4,5,6]]
+	a := arr(t, Float64, []int{2, 3}, 1, 2, 3, 4, 5, 6)
+	m, err := a.ReduceMean(0)
+	if err != nil || !reflect.DeepEqual(m.Float64s(), []float64{2.5, 3.5, 4.5}) {
+		t.Fatalf("ReduceMean(0) = %v, %v", m.Float64s(), err)
+	}
+	m, err = a.ReduceMean(1)
+	if err != nil || !reflect.DeepEqual(m.Float64s(), []float64{2, 5}) {
+		t.Fatalf("ReduceMean(1) = %v, %v", m.Float64s(), err)
+	}
+	s, _ := a.ReduceSum(-1) // negative axis
+	if !reflect.DeepEqual(s.Float64s(), []float64{6, 15}) {
+		t.Fatalf("ReduceSum(-1) = %v", s.Float64s())
+	}
+	mx, _ := a.ReduceMax(0)
+	if !reflect.DeepEqual(mx.Float64s(), []float64{4, 5, 6}) {
+		t.Fatalf("ReduceMax(0) = %v", mx.Float64s())
+	}
+	mn, _ := a.ReduceMin(1)
+	if !reflect.DeepEqual(mn.Float64s(), []float64{1, 4}) {
+		t.Fatalf("ReduceMin(1) = %v", mn.Float64s())
+	}
+	if _, err := a.ReduceMean(2); err == nil {
+		t.Fatal("axis out of range should error")
+	}
+}
+
+// Property: ReduceSum along any axis preserves the total sum.
+func TestReduceSumPreservesTotal(t *testing.T) {
+	f := func(d0, d1, d2, axis uint8) bool {
+		shape := []int{int(d0)%4 + 1, int(d1)%4 + 1, int(d2)%4 + 1}
+		n := shape[0] * shape[1] * shape[2]
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64((i*13)%17) - 8
+		}
+		a, _ := FromFloat64s(Float64, shape, vals)
+		r, err := a.ReduceSum(int(axis) % 3)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r.Sum()-a.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClipAndMap(t *testing.T) {
+	a := arr(t, Float64, []int{4}, -5, 0.5, 2, 99)
+	c := a.Clip(0, 1)
+	if !reflect.DeepEqual(c.Float64s(), []float64{0, 0.5, 1, 1}) {
+		t.Fatalf("Clip = %v", c.Float64s())
+	}
+	m := a.Map(func(v float64) float64 { return v * 2 })
+	if !reflect.DeepEqual(m.Float64s(), []float64{-10, 1, 4, 198}) {
+		t.Fatalf("Map = %v", m.Float64s())
+	}
+}
+
+func TestNormsAndSimilarity(t *testing.T) {
+	a := arr(t, Float64, []int{2}, 3, 4)
+	if a.L2() != 5 {
+		t.Fatalf("L2 = %v", a.L2())
+	}
+	b := arr(t, Float64, []int{2}, 4, 3)
+	d, err := a.Dot(b)
+	if err != nil || d != 24 {
+		t.Fatalf("Dot = %v, %v", d, err)
+	}
+	cs, err := a.CosineSimilarity(a)
+	if err != nil || math.Abs(cs-1) > 1e-12 {
+		t.Fatalf("self cosine = %v", cs)
+	}
+	zero := MustNew(Float64, 2)
+	cs, err = a.CosineSimilarity(zero)
+	if err != nil || cs != 0 {
+		t.Fatalf("zero-norm cosine = %v, %v", cs, err)
+	}
+	short := MustNew(Float64, 3)
+	if _, err := a.Dot(short); err == nil {
+		t.Fatal("length mismatch Dot should error")
+	}
+}
+
+func TestAsType(t *testing.T) {
+	a := arr(t, Float64, []int{3}, 1.9, -2.9, 300)
+	b, err := a.AsType(UInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Float64s(); got[0] != 1 || got[1] != 0 || got[2] != 255 {
+		t.Fatalf("AsType(uint8) = %v", got)
+	}
+	if _, err := a.AsType(InvalidDtype); err == nil {
+		t.Fatal("invalid dtype should error")
+	}
+}
+
+func TestStack(t *testing.T) {
+	a := arr(t, UInt8, []int{2}, 1, 2)
+	b := arr(t, UInt8, []int{2}, 3, 4)
+	s, err := Stack([]*NDArray{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Shape(), []int{2, 2}) {
+		t.Fatalf("stack shape = %v", s.Shape())
+	}
+	if !reflect.DeepEqual(s.Float64s(), []float64{1, 2, 3, 4}) {
+		t.Fatalf("stack values = %v", s.Float64s())
+	}
+	c := arr(t, UInt8, []int{3}, 1, 2, 3)
+	if _, err := Stack([]*NDArray{a, c}); err == nil {
+		t.Fatal("mismatched shapes should error")
+	}
+	if _, err := Stack(nil); err == nil {
+		t.Fatal("empty stack should error")
+	}
+}

@@ -1,0 +1,328 @@
+package tql
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// evalCall dispatches TQL's builtin function library — the "large set of
+// convenience functions to work with arrays" of §4.4, including the
+// user-visible IOU and NORMALIZE from the paper's Fig 5 example.
+func evalCall(e *env, c Call) (Value, error) {
+	switch c.Name {
+	case "SHAPE":
+		return builtinShape(e, c)
+	case "NDIM":
+		shape, err := callShape(e, c)
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(float64(len(shape))), nil
+	case "LEN":
+		shape, err := callShape(e, c)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(shape) == 0 {
+			return numVal(1), nil
+		}
+		return numVal(float64(shape[0])), nil
+	case "SIZE":
+		shape, err := callShape(e, c)
+		if err != nil {
+			return Value{}, err
+		}
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		return numVal(float64(n)), nil
+	case "ROW":
+		if len(c.Args) != 0 {
+			return Value{}, fmt.Errorf("tql: ROW takes no arguments")
+		}
+		return numVal(float64(e.row)), nil
+	case "TEXT":
+		arr, err := argArray(e, c, 0, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		return strVal(arr[0].AsString()), nil
+	case "MEAN", "SUM", "MIN", "MAX", "L2", "ANY", "ALL":
+		arr, err := argArray(e, c, 0, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		a := arr[0]
+		switch c.Name {
+		case "MEAN":
+			return numVal(a.Mean()), nil
+		case "SUM":
+			return numVal(a.Sum()), nil
+		case "MIN":
+			return numVal(a.Min()), nil
+		case "MAX":
+			return numVal(a.Max()), nil
+		case "L2":
+			return numVal(a.L2()), nil
+		case "ANY":
+			return boolVal(a.Any()), nil
+		case "ALL":
+			return boolVal(a.All()), nil
+		}
+	case "ABS":
+		arr, err := argArray(e, c, 0, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		return arrVal(arr[0].Map(math.Abs)), nil
+	case "SQRT":
+		arr, err := argArray(e, c, 0, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		return arrVal(arr[0].Map(math.Sqrt)), nil
+	case "CLIP":
+		if len(c.Args) != 3 {
+			return Value{}, fmt.Errorf("tql: CLIP(x, lo, hi) takes 3 arguments")
+		}
+		arr, err := argArray(e, c, 0, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := argNumber(e, c, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := argNumber(e, c, 2)
+		if err != nil {
+			return Value{}, err
+		}
+		return arrVal(arr[0].Clip(lo, hi)), nil
+	case "CONTAINS":
+		if len(c.Args) != 2 {
+			return Value{}, fmt.Errorf("tql: CONTAINS(array, value) takes 2 arguments")
+		}
+		arr, err := argArray(e, c, 0, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := argNumber(e, c, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		for _, f := range arr[0].Float64s() {
+			if f == v {
+				return boolVal(true), nil
+			}
+		}
+		return boolVal(false), nil
+	case "DOT":
+		arrs, err := argArray(e, c, 0, 2)
+		if err != nil {
+			return Value{}, err
+		}
+		d, err := arrs[0].Dot(arrs[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(d), nil
+	case "COSINE_SIMILARITY":
+		arrs, err := argArray(e, c, 0, 2)
+		if err != nil {
+			return Value{}, err
+		}
+		cs, err := arrs[0].CosineSimilarity(arrs[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(cs), nil
+	case "IOU":
+		arrs, err := argArray(e, c, 0, 2)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := iou(arrs[0], arrs[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(v), nil
+	case "NORMALIZE":
+		arrs, err := argArray(e, c, 0, 2)
+		if err != nil {
+			return Value{}, err
+		}
+		out, err := normalizeBoxes(arrs[0], arrs[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return arrVal(out), nil
+	}
+	return Value{}, fmt.Errorf("tql: unknown function %q", c.Name)
+}
+
+// callShape resolves the shape of the single argument, through the shape
+// encoder when the argument is a bare tensor reference (no chunk IO).
+func callShape(e *env, c Call) ([]int, error) {
+	if len(c.Args) != 1 {
+		return nil, fmt.Errorf("tql: %s takes 1 argument", c.Name)
+	}
+	if id, ok := c.Args[0].(Ident); ok {
+		return e.shapeOf(string(id))
+	}
+	v, err := evalExpr(e, c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	arr, err := v.AsArray()
+	if err != nil {
+		return nil, err
+	}
+	return arr.Shape(), nil
+}
+
+func builtinShape(e *env, c Call) (Value, error) {
+	shape, err := callShape(e, c)
+	if err != nil {
+		return Value{}, err
+	}
+	vals := make([]float64, len(shape))
+	for i, d := range shape {
+		vals[i] = float64(d)
+	}
+	arr, err := tensor.FromFloat64s(tensor.Int64, []int{len(vals)}, vals)
+	if err != nil {
+		return Value{}, err
+	}
+	return arrVal(arr), nil
+}
+
+// argArray evaluates n array arguments starting at index start; a string
+// argument resolves as a tensor reference, supporting the paper's
+// IOU(boxes, "training/boxes") idiom.
+func argArray(e *env, c Call, start, n int) ([]*tensor.NDArray, error) {
+	if len(c.Args) < start+n {
+		return nil, fmt.Errorf("tql: %s needs at least %d arguments", c.Name, start+n)
+	}
+	out := make([]*tensor.NDArray, 0, n)
+	for i := start; i < start+n; i++ {
+		if s, ok := c.Args[i].(StringLit); ok {
+			arr, err := e.lookupTensor(string(s))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, arr)
+			continue
+		}
+		v, err := evalExpr(e, c.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		arr, err := v.AsArray()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, arr)
+	}
+	return out, nil
+}
+
+func argNumber(e *env, c Call, i int) (float64, error) {
+	v, err := evalExpr(e, c.Args[i])
+	if err != nil {
+		return 0, err
+	}
+	return v.AsNumber()
+}
+
+// iou computes the mean best intersection-over-union between two box sets.
+// Boxes are [x, y, w, h] rows ([N,4] or a single [4]); for each box in a,
+// the best IoU against b is found and the mean over a is returned — the
+// usual detection-quality measure behind the paper's Fig 5 example.
+func iou(a, b *tensor.NDArray) (float64, error) {
+	ab, err := boxRows(a)
+	if err != nil {
+		return 0, err
+	}
+	bb, err := boxRows(b)
+	if err != nil {
+		return 0, err
+	}
+	if len(ab) == 0 || len(bb) == 0 {
+		return 0, nil
+	}
+	var total float64
+	for _, ra := range ab {
+		best := 0.0
+		for _, rb := range bb {
+			if v := pairIOU(ra, rb); v > best {
+				best = v
+			}
+		}
+		total += best
+	}
+	return total / float64(len(ab)), nil
+}
+
+func boxRows(a *tensor.NDArray) ([][4]float64, error) {
+	vals := a.Float64s()
+	switch a.NDim() {
+	case 1:
+		if a.Len() != 4 {
+			return nil, fmt.Errorf("tql: box vector must have 4 elements, got %d", a.Len())
+		}
+		return [][4]float64{{vals[0], vals[1], vals[2], vals[3]}}, nil
+	case 2:
+		if a.Shape()[1] != 4 {
+			return nil, fmt.Errorf("tql: box matrix must be [N,4], got %v", a.Shape())
+		}
+		out := make([][4]float64, a.Shape()[0])
+		for i := range out {
+			copy(out[i][:], vals[i*4:(i+1)*4])
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("tql: boxes must be 1-d or 2-d, got %d-d", a.NDim())
+}
+
+func pairIOU(a, b [4]float64) float64 {
+	ax1, ay1, ax2, ay2 := a[0], a[1], a[0]+a[2], a[1]+a[3]
+	bx1, by1, bx2, by2 := b[0], b[1], b[0]+b[2], b[1]+b[3]
+	ix := math.Max(0, math.Min(ax2, bx2)-math.Max(ax1, bx1))
+	iy := math.Max(0, math.Min(ay2, by2)-math.Max(ay1, by1))
+	inter := ix * iy
+	union := a[2]*a[3] + b[2]*b[3] - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// normalizeBoxes rescales [x,y,w,h] boxes into the coordinate system of a
+// crop region [rx, ry, rw, rh] — the paper's NORMALIZE(boxes, [100, 100,
+// 400, 400]) companion to image cropping.
+func normalizeBoxes(boxes, region *tensor.NDArray) (*tensor.NDArray, error) {
+	if region.Len() != 4 {
+		return nil, fmt.Errorf("tql: NORMALIZE region must have 4 elements")
+	}
+	r := region.Float64s()
+	rx, ry, rw, rh := r[0], r[1], r[2], r[3]
+	if rw == 0 || rh == 0 {
+		return nil, fmt.Errorf("tql: NORMALIZE region has zero extent")
+	}
+	rows, err := boxRows(boxes)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, 0, len(rows)*4)
+	for _, b := range rows {
+		vals = append(vals, (b[0]-rx)/rw, (b[1]-ry)/rh, b[2]/rw, b[3]/rh)
+	}
+	shape := []int{len(rows), 4}
+	if boxes.NDim() == 1 {
+		shape = []int{4}
+	}
+	return tensor.FromFloat64s(tensor.Float64, shape, vals)
+}

@@ -1,0 +1,308 @@
+package tql
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// evalExpr evaluates an expression for one row.
+func evalExpr(e *env, x Expr) (Value, error) {
+	switch n := x.(type) {
+	case NumberLit:
+		return numVal(float64(n)), nil
+	case StringLit:
+		return strVal(string(n)), nil
+	case BoolLit:
+		return boolVal(bool(n)), nil
+	case Ident:
+		arr, err := e.lookupTensor(string(n))
+		if err != nil {
+			return Value{}, err
+		}
+		return arrVal(arr), nil
+	case ArrayLit:
+		vals := make([]float64, len(n))
+		for i, el := range n {
+			v, err := evalExpr(e, el)
+			if err != nil {
+				return Value{}, err
+			}
+			f, err := v.AsNumber()
+			if err != nil {
+				return Value{}, err
+			}
+			vals[i] = f
+		}
+		arr, err := tensor.FromFloat64s(tensor.Float64, []int{len(vals)}, vals)
+		if err != nil {
+			return Value{}, err
+		}
+		return arrVal(arr), nil
+	case Unary:
+		return evalUnary(e, n)
+	case Binary:
+		return evalBinary(e, n)
+	case Call:
+		return evalCall(e, n)
+	case Index:
+		return evalIndex(e, n)
+	}
+	return Value{}, fmt.Errorf("tql: unsupported expression %T", x)
+}
+
+func evalUnary(e *env, u Unary) (Value, error) {
+	v, err := evalExpr(e, u.X)
+	if err != nil {
+		return Value{}, err
+	}
+	switch u.Op {
+	case "-":
+		if v.kind == kindArr {
+			return arrVal(v.arr.Map(func(x float64) float64 { return -x })), nil
+		}
+		f, err := v.AsNumber()
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(-f), nil
+	case "NOT":
+		return boolVal(!v.IsTruthy()), nil
+	}
+	return Value{}, fmt.Errorf("tql: unknown unary operator %q", u.Op)
+}
+
+func evalBinary(e *env, b Binary) (Value, error) {
+	// Short-circuit logic.
+	switch b.Op {
+	case "AND":
+		l, err := evalExpr(e, b.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsTruthy() {
+			return boolVal(false), nil
+		}
+		r, err := evalExpr(e, b.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(r.IsTruthy()), nil
+	case "OR":
+		l, err := evalExpr(e, b.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsTruthy() {
+			return boolVal(true), nil
+		}
+		r, err := evalExpr(e, b.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(r.IsTruthy()), nil
+	}
+	l, err := evalExpr(e, b.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := evalExpr(e, b.R)
+	if err != nil {
+		return Value{}, err
+	}
+	switch b.Op {
+	case "+", "-", "*", "/", "%":
+		return evalArith(b.Op, l, r)
+	case "==", "!=", "<", "<=", ">", ">=":
+		return evalCompare(b.Op, l, r)
+	}
+	return Value{}, fmt.Errorf("tql: unknown operator %q", b.Op)
+}
+
+func evalArith(op string, l, r Value) (Value, error) {
+	// Array arithmetic broadcasts scalars (§4.4 numeric computation).
+	if l.kind == kindArr || r.kind == kindArr {
+		la, err := l.AsArray()
+		if err != nil {
+			return Value{}, err
+		}
+		ra, err := r.AsArray()
+		if err != nil {
+			return Value{}, err
+		}
+		var out *tensor.NDArray
+		switch op {
+		case "+":
+			out, err = la.Add(ra)
+		case "-":
+			out, err = la.Sub(ra)
+		case "*":
+			out, err = la.Mul(ra)
+		case "/":
+			out, err = la.Div(ra)
+		case "%":
+			return Value{}, fmt.Errorf("tql: %% is not defined on arrays")
+		}
+		if err != nil {
+			return Value{}, err
+		}
+		return arrVal(out), nil
+	}
+	lf, err := l.AsNumber()
+	if err != nil {
+		return Value{}, err
+	}
+	rf, err := r.AsNumber()
+	if err != nil {
+		return Value{}, err
+	}
+	switch op {
+	case "+":
+		return numVal(lf + rf), nil
+	case "-":
+		return numVal(lf - rf), nil
+	case "*":
+		return numVal(lf * rf), nil
+	case "/":
+		return numVal(lf / rf), nil
+	case "%":
+		return numVal(math.Mod(lf, rf)), nil
+	}
+	return Value{}, fmt.Errorf("tql: unknown arithmetic operator %q", op)
+}
+
+func evalCompare(op string, l, r Value) (Value, error) {
+	if l.kind == kindStr && r.kind == kindStr {
+		switch op {
+		case "==":
+			return boolVal(l.str == r.str), nil
+		case "!=":
+			return boolVal(l.str != r.str), nil
+		case "<":
+			return boolVal(l.str < r.str), nil
+		case "<=":
+			return boolVal(l.str <= r.str), nil
+		case ">":
+			return boolVal(l.str > r.str), nil
+		case ">=":
+			return boolVal(l.str >= r.str), nil
+		}
+	}
+	lf, err := l.AsNumber()
+	if err != nil {
+		return Value{}, err
+	}
+	rf, err := r.AsNumber()
+	if err != nil {
+		return Value{}, err
+	}
+	switch op {
+	case "==":
+		return boolVal(lf == rf), nil
+	case "!=":
+		return boolVal(lf != rf), nil
+	case "<":
+		return boolVal(lf < rf), nil
+	case "<=":
+		return boolVal(lf <= rf), nil
+	case ">":
+		return boolVal(lf > rf), nil
+	case ">=":
+		return boolVal(lf >= rf), nil
+	}
+	return Value{}, fmt.Errorf("tql: unknown comparison %q", op)
+}
+
+func evalIndex(e *env, ix Index) (Value, error) {
+	base, err := evalExpr(e, ix.X)
+	if err != nil {
+		return Value{}, err
+	}
+	arr, err := base.AsArray()
+	if err != nil {
+		return Value{}, err
+	}
+	// Leading point indices reduce rank via Index; slices map to ranges.
+	cur := arr
+	var ranges []tensor.Range
+	pointPrefix := true
+	for _, spec := range ix.Specs {
+		if !spec.Slice && pointPrefix && len(ranges) == 0 {
+			v, err := evalExpr(e, spec.Point)
+			if err != nil {
+				return Value{}, err
+			}
+			f, err := v.AsNumber()
+			if err != nil {
+				return Value{}, err
+			}
+			cur, err = cur.Index(int(f))
+			if err != nil {
+				return Value{}, err
+			}
+			continue
+		}
+		pointPrefix = false
+		r, err := specToRange(e, spec)
+		if err != nil {
+			return Value{}, err
+		}
+		ranges = append(ranges, r)
+	}
+	if len(ranges) > 0 {
+		out, err := cur.Slice(ranges...)
+		if err != nil {
+			return Value{}, err
+		}
+		return arrVal(out), nil
+	}
+	if cur.NDim() == 0 {
+		v, err := cur.Item()
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(v), nil
+	}
+	return arrVal(cur), nil
+}
+
+func specToRange(e *env, spec IndexSpec) (tensor.Range, error) {
+	if !spec.Slice {
+		v, err := evalExpr(e, spec.Point)
+		if err != nil {
+			return tensor.Range{}, err
+		}
+		f, err := v.AsNumber()
+		if err != nil {
+			return tensor.Range{}, err
+		}
+		// A point in the middle of a slice chain keeps the axis with
+		// size 1 (close enough to NumPy for TQL purposes).
+		return tensor.Range{Start: int(f), Stop: int(f) + 1}, nil
+	}
+	r := tensor.Range{Start: 0, Stop: tensor.End}
+	if spec.Lo != nil {
+		v, err := evalExpr(e, spec.Lo)
+		if err != nil {
+			return tensor.Range{}, err
+		}
+		f, err := v.AsNumber()
+		if err != nil {
+			return tensor.Range{}, err
+		}
+		r.Start = int(f)
+	}
+	if spec.Hi != nil {
+		v, err := evalExpr(e, spec.Hi)
+		if err != nil {
+			return tensor.Range{}, err
+		}
+		f, err := v.AsNumber()
+		if err != nil {
+			return tensor.Range{}, err
+		}
+		r.Stop = int(f)
+	}
+	return r, nil
+}

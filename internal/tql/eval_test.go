@@ -1,0 +1,254 @@
+package tql
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// evalOn evaluates a standalone expression against row 0 of a one-row
+// dataset with tensors "v" ([3] float64) and "b" ([2,4] bbox).
+func evalOn(t *testing.T, expr string) (Value, error) {
+	t.Helper()
+	ctx := context.Background()
+	ds, err := core.Create(ctx, storage.NewMemory(), "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "v", Dtype: tensor.Float64})
+	arr, _ := tensor.FromFloat64s(tensor.Float64, []int{3}, []float64{1, 2, 3})
+	v.Append(ctx, arr)
+	b, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "b", Htype: "bbox"})
+	boxes, _ := tensor.FromFloat64s(tensor.Float32, []int{2, 4}, []float64{0, 0, 10, 10, 5, 5, 10, 10})
+	b.Append(ctx, boxes)
+	txt, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "txt", Htype: "text"})
+	txt.Append(ctx, tensor.FromString("hello"))
+
+	parsed, err := Parse("SELECT " + expr + " as out FROM e")
+	if err != nil {
+		return Value{}, err
+	}
+	return evalExpr(newEnv(ctx, ds, 0), parsed.Selectors[0].Expr)
+}
+
+func TestEvalValueCoercions(t *testing.T) {
+	// String truthiness / number coercion failures.
+	v, err := evalOn(t, `"nonempty"`)
+	if err != nil || !v.IsTruthy() {
+		t.Fatalf("string truthy = %v, %v", v, err)
+	}
+	if _, err := v.AsNumber(); err == nil {
+		t.Fatal("string AsNumber should error")
+	}
+	arr, err := v.AsArray()
+	if err != nil || arr.AsString() != "nonempty" {
+		t.Fatalf("string AsArray = %v, %v", arr, err)
+	}
+
+	// Array truthiness.
+	v, err = evalOn(t, "v")
+	if err != nil || !v.IsTruthy() {
+		t.Fatalf("array truthy: %v, %v", v, err)
+	}
+	if _, err := v.AsNumber(); err == nil {
+		t.Fatal("multi-element array AsNumber should error")
+	}
+	// Bool to array.
+	v, _ = evalOn(t, "1 == 1")
+	barr, err := v.AsArray()
+	if err != nil || barr.Dtype() != tensor.Bool {
+		t.Fatalf("bool AsArray = %v, %v", barr, err)
+	}
+}
+
+func TestEvalArithmeticEdges(t *testing.T) {
+	// Division by zero follows IEEE.
+	v, err := evalOn(t, "1 / 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := v.AsNumber()
+	if !math.IsInf(f, 1) {
+		t.Fatalf("1/0 = %v", f)
+	}
+	// Array modulo rejected.
+	if _, err := evalOn(t, "v % 2"); err == nil {
+		t.Fatal("array %% should error")
+	}
+	// Array plus array.
+	v, err = evalOn(t, "v + v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, _ := v.AsArray()
+	if !reflect.DeepEqual(arr.Float64s(), []float64{2, 4, 6}) {
+		t.Fatalf("v+v = %v", arr.Float64s())
+	}
+	// Unary minus on arrays.
+	v, err = evalOn(t, "-v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, _ = v.AsArray()
+	if arr.Float64s()[0] != -1 {
+		t.Fatalf("-v = %v", arr.Float64s())
+	}
+	// NOT.
+	v, err = evalOn(t, "NOT (1 == 2)")
+	if err != nil || !v.IsTruthy() {
+		t.Fatalf("NOT = %v, %v", v, err)
+	}
+}
+
+func TestEvalStringComparisons(t *testing.T) {
+	cases := map[string]bool{
+		`"a" < "b"`:            true,
+		`"a" == "a"`:           true,
+		`"a" != "a"`:           false,
+		`"b" >= "a"`:           true,
+		`TEXT(txt) == "hello"`: true,
+	}
+	for expr, want := range cases {
+		v, err := evalOn(t, expr)
+		if err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		if v.IsTruthy() != want {
+			t.Errorf("%s = %v, want %v", expr, v.IsTruthy(), want)
+		}
+	}
+}
+
+func TestEvalIndexingEdges(t *testing.T) {
+	// Point index into a 1-d tensor yields a scalar.
+	v, err := evalOn(t, "v[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := v.AsNumber()
+	if err != nil || f != 2 {
+		t.Fatalf("v[1] = %v, %v", f, err)
+	}
+	// Negative literal index via arithmetic is out of range.
+	if _, err := evalOn(t, "v[7]"); err == nil {
+		t.Fatal("out-of-range index should error")
+	}
+	// Slice of a slice via mixed specs.
+	v, err = evalOn(t, "b[0, 2:4]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, _ := v.AsArray()
+	if !reflect.DeepEqual(arr.Float64s(), []float64{10, 10}) {
+		t.Fatalf("b[0, 2:4] = %v", arr.Float64s())
+	}
+	// Open-ended slices.
+	v, err = evalOn(t, "v[1:]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, _ = v.AsArray()
+	if arr.Len() != 2 {
+		t.Fatalf("v[1:] len = %d", arr.Len())
+	}
+	v, err = evalOn(t, "v[:2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, _ = v.AsArray()
+	if arr.Len() != 2 {
+		t.Fatalf("v[:2] len = %d", arr.Len())
+	}
+}
+
+func TestIOUEdgeCases(t *testing.T) {
+	// Perfect overlap.
+	v, err := evalOn(t, "IOU(b[0:1], b[0:1])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := v.AsNumber()
+	if math.Abs(f-1) > 1e-9 {
+		t.Fatalf("self IOU = %v", f)
+	}
+	// Disjoint boxes.
+	v, err = evalOn(t, "IOU([0,0,1,1], [5,5,1,1])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.AsNumber(); f != 0 {
+		t.Fatalf("disjoint IOU = %v", f)
+	}
+	// Degenerate zero-area boxes.
+	v, err = evalOn(t, "IOU([0,0,0,0], [0,0,0,0])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.AsNumber(); f != 0 {
+		t.Fatalf("zero-area IOU = %v", f)
+	}
+	// Malformed box shapes.
+	if _, err := evalOn(t, "IOU([1,2,3], [1,2,3,4])"); err == nil {
+		t.Fatal("3-element box should error")
+	}
+	if _, err := evalOn(t, "NORMALIZE(b, [0,0,0,10])"); err == nil {
+		t.Fatal("zero-extent region should error")
+	}
+	if _, err := evalOn(t, "NORMALIZE(b, [1,2,3])"); err == nil {
+		t.Fatal("3-element region should error")
+	}
+}
+
+func TestBuiltinErrorArities(t *testing.T) {
+	for _, expr := range []string{
+		"MEAN()",
+		"CLIP(v)",
+		"ROW(1)",
+		"SHAPE(v, v)",
+		"CONTAINS(v)",
+		"DOT(v)",
+	} {
+		if _, err := evalOn(t, expr); err == nil {
+			t.Errorf("%s should error", expr)
+		}
+	}
+}
+
+func TestSQRTAndClipCombos(t *testing.T) {
+	v, err := evalOn(t, "SQRT([4, 9, 16])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, _ := v.AsArray()
+	if !reflect.DeepEqual(arr.Float64s(), []float64{2, 3, 4}) {
+		t.Fatalf("SQRT = %v", arr.Float64s())
+	}
+	v, err = evalOn(t, "MAX(CLIP(v, 0, 2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.AsNumber(); f != 2 {
+		t.Fatalf("MAX(CLIP) = %v", f)
+	}
+	v, err = evalOn(t, "L2([3, 4])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.AsNumber(); f != 5 {
+		t.Fatalf("L2 = %v", f)
+	}
+	v, err = evalOn(t, "ANY(v - v)")
+	if err != nil || v.IsTruthy() {
+		t.Fatalf("ANY(zeros) = %v, %v", v, err)
+	}
+	v, err = evalOn(t, "ALL(v)")
+	if err != nil || !v.IsTruthy() {
+		t.Fatalf("ALL(v) = %v, %v", v, err)
+	}
+}

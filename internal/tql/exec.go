@@ -1,0 +1,435 @@
+package tql
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/view"
+)
+
+// Plan is the compiled logical plan of a query: an ordered list of stages
+// the scheduler executes (§4.4: "The query plan generates a computational
+// graph of tensor operations. Then the scheduler executes the query
+// graph").
+type Plan struct {
+	Query  *Query
+	stages []string
+}
+
+// Explain renders the plan stages, one per line.
+func (p *Plan) Explain() string { return strings.Join(p.stages, "\n") }
+
+// Compile builds the logical plan for a parsed query.
+func Compile(q *Query) (*Plan, error) {
+	p := &Plan{Query: q}
+	src := q.From
+	if src == "" {
+		src = "<bound dataset>"
+	}
+	if q.Version != "" {
+		p.stages = append(p.stages, fmt.Sprintf("scan %s @ version %s", src, q.Version))
+	} else {
+		p.stages = append(p.stages, "scan "+src)
+	}
+	if q.Where != nil {
+		pushdown := ""
+		if shapeOnly(q.Where) {
+			pushdown = " [shape-encoder pushdown: no chunk IO]"
+		}
+		p.stages = append(p.stages, "filter "+q.Where.String()+pushdown)
+	}
+	if q.OrderBy != nil {
+		dir := "asc"
+		if q.OrderDesc {
+			dir = "desc"
+		}
+		p.stages = append(p.stages, fmt.Sprintf("order by %s %s", q.OrderBy, dir))
+	}
+	if q.GroupBy != nil {
+		p.stages = append(p.stages, "group by "+q.GroupBy.String())
+	}
+	if q.ArrangeBy != nil {
+		p.stages = append(p.stages, "arrange by "+q.ArrangeBy.String()+" [round-robin class balancing]")
+	}
+	if q.SampleBy != nil {
+		p.stages = append(p.stages, "weighted sample by "+q.SampleBy.String())
+	}
+	if q.Offset > 0 || q.Limit >= 0 {
+		p.stages = append(p.stages, fmt.Sprintf("limit %d offset %d", q.Limit, q.Offset))
+	}
+	if q.Star {
+		p.stages = append(p.stages, "project *")
+	} else {
+		parts := make([]string, len(q.Selectors))
+		for i, s := range q.Selectors {
+			parts[i] = s.String()
+		}
+		p.stages = append(p.stages, "project "+strings.Join(parts, ", "))
+	}
+	return p, nil
+}
+
+// shapeOnly reports whether an expression touches sample data only through
+// SHAPE/NDIM/LEN/SIZE of bare tensor references, meaning the filter can run
+// entirely off the shape encoder.
+func shapeOnly(x Expr) bool {
+	switch n := x.(type) {
+	case NumberLit, StringLit, BoolLit:
+		return true
+	case Ident:
+		return false // raw tensor reference loads data
+	case Unary:
+		return shapeOnly(n.X)
+	case Binary:
+		return shapeOnly(n.L) && shapeOnly(n.R)
+	case ArrayLit:
+		for _, el := range n {
+			if !shapeOnly(el) {
+				return false
+			}
+		}
+		return true
+	case Call:
+		switch n.Name {
+		case "SHAPE", "NDIM", "LEN", "SIZE":
+			if len(n.Args) == 1 {
+				if _, ok := n.Args[0].(Ident); ok {
+					return true
+				}
+			}
+			return false
+		case "ROW":
+			return true
+		default:
+			return false
+		}
+	case Index:
+		return shapeOnly(n.X)
+	}
+	return false
+}
+
+// Run parses, compiles and executes a query against a dataset, returning
+// the result as a view.
+func Run(ctx context.Context, ds *core.Dataset, src string) (*view.View, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(ctx, ds, q)
+}
+
+// knownFunctions is the builtin library (§4.4).
+var knownFunctions = map[string]bool{
+	"SHAPE": true, "NDIM": true, "LEN": true, "SIZE": true, "ROW": true,
+	"TEXT": true, "MEAN": true, "SUM": true, "MIN": true, "MAX": true,
+	"L2": true, "ANY": true, "ALL": true, "ABS": true, "SQRT": true,
+	"CLIP": true, "CONTAINS": true, "DOT": true, "COSINE_SIMILARITY": true,
+	"IOU": true, "NORMALIZE": true,
+}
+
+// validateExpr rejects unknown functions before execution.
+func validateExpr(x Expr) error {
+	switch n := x.(type) {
+	case Unary:
+		return validateExpr(n.X)
+	case Binary:
+		if err := validateExpr(n.L); err != nil {
+			return err
+		}
+		return validateExpr(n.R)
+	case ArrayLit:
+		for _, el := range n {
+			if err := validateExpr(el); err != nil {
+				return err
+			}
+		}
+	case Call:
+		if !knownFunctions[n.Name] {
+			return fmt.Errorf("tql: unknown function %q", n.Name)
+		}
+		for _, a := range n.Args {
+			if err := validateExpr(a); err != nil {
+				return err
+			}
+		}
+	case Index:
+		if err := validateExpr(n.X); err != nil {
+			return err
+		}
+		for _, s := range n.Specs {
+			for _, e := range []Expr{s.Point, s.Lo, s.Hi} {
+				if e != nil {
+					if err := validateExpr(e); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateQuery(q *Query) error {
+	exprs := []Expr{q.Where, q.GroupBy, q.OrderBy, q.ArrangeBy, q.SampleBy}
+	for _, sel := range q.Selectors {
+		exprs = append(exprs, sel.Expr)
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if err := validateExpr(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Execute runs a parsed query against a dataset.
+func Execute(ctx context.Context, ds *core.Dataset, q *Query) (*view.View, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	if q.Version != "" {
+		var err error
+		ds, err = ds.ReadAtVersion(ctx, q.Version)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := ds.NumRows()
+	rows := make([]uint64, 0, n)
+	// Filter.
+	for i := uint64(0); i < n; i++ {
+		if q.Where != nil {
+			v, err := evalExpr(newEnv(ctx, ds, i), q.Where)
+			if err != nil {
+				return nil, fmt.Errorf("tql: WHERE at row %d: %w", i, err)
+			}
+			if !v.IsTruthy() {
+				continue
+			}
+		}
+		rows = append(rows, i)
+	}
+	// Order.
+	if q.OrderBy != nil {
+		if err := sortRows(ctx, ds, rows, q.OrderBy, q.OrderDesc); err != nil {
+			return nil, err
+		}
+	}
+	// Group (stable, so ORDER BY survives within groups).
+	if q.GroupBy != nil {
+		if err := sortRows(ctx, ds, rows, q.GroupBy, false); err != nil {
+			return nil, err
+		}
+	}
+	// Arrange: round-robin interleave across key groups.
+	if q.ArrangeBy != nil {
+		var err error
+		rows, err = arrangeRows(ctx, ds, rows, q.ArrangeBy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Weighted sampling.
+	if q.SampleBy != nil {
+		var err error
+		rows, err = sampleRows(ctx, ds, rows, q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Offset / limit.
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	// Projection.
+	columns, err := buildColumns(ds, q)
+	if err != nil {
+		return nil, err
+	}
+	return view.New(ds, rows, columns), nil
+}
+
+// rowKey evaluates a sort key for one row.
+func rowKey(ctx context.Context, ds *core.Dataset, row uint64, x Expr) (isStr bool, num float64, str string, err error) {
+	v, err := evalExpr(newEnv(ctx, ds, row), x)
+	if err != nil {
+		return false, 0, "", err
+	}
+	return v.sortKey()
+}
+
+func sortRows(ctx context.Context, ds *core.Dataset, rows []uint64, key Expr, desc bool) error {
+	type keyed struct {
+		isStr bool
+		num   float64
+		str   string
+	}
+	keys := make(map[uint64]keyed, len(rows))
+	for _, r := range rows {
+		isStr, num, str, err := rowKey(ctx, ds, r, key)
+		if err != nil {
+			return fmt.Errorf("tql: sort key at row %d: %w", r, err)
+		}
+		keys[r] = keyed{isStr, num, str}
+	}
+	less := func(a, b keyed) bool {
+		if a.isStr != b.isStr {
+			return !a.isStr // numbers sort before strings
+		}
+		if a.isStr {
+			return a.str < b.str
+		}
+		return a.num < b.num
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := keys[rows[i]], keys[rows[j]]
+		if desc {
+			return less(b, a)
+		}
+		return less(a, b)
+	})
+	return nil
+}
+
+// arrangeRows groups rows by key (first-appearance group order) and
+// interleaves the groups round-robin, producing a class-balanced stream.
+func arrangeRows(ctx context.Context, ds *core.Dataset, rows []uint64, key Expr) ([]uint64, error) {
+	type group struct {
+		rows []uint64
+	}
+	order := []string{}
+	groups := map[string]*group{}
+	for _, r := range rows {
+		isStr, num, str, err := rowKey(ctx, ds, r, key)
+		if err != nil {
+			return nil, fmt.Errorf("tql: arrange key at row %d: %w", r, err)
+		}
+		k := str
+		if !isStr {
+			k = fmt.Sprintf("n:%g", num)
+		}
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, r)
+	}
+	out := make([]uint64, 0, len(rows))
+	for len(out) < len(rows) {
+		progressed := false
+		for _, k := range order {
+			g := groups[k]
+			if len(g.rows) == 0 {
+				continue
+			}
+			out = append(out, g.rows[0])
+			g.rows = g.rows[1:]
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out, nil
+}
+
+// sampleRows draws a weighted sample without replacement using exponential
+// keys (Efraimidis-Spirakis), deterministic per query text so results are
+// reproducible across runs.
+func sampleRows(ctx context.Context, ds *core.Dataset, rows []uint64, q *Query) ([]uint64, error) {
+	h := fnv.New64a()
+	h.Write([]byte(q.String()))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	type keyed struct {
+		row uint64
+		key float64
+	}
+	keys := make([]keyed, 0, len(rows))
+	for _, r := range rows {
+		v, err := evalExpr(newEnv(ctx, ds, r), q.SampleBy)
+		if err != nil {
+			return nil, fmt.Errorf("tql: sample weight at row %d: %w", r, err)
+		}
+		w, err := v.AsNumber()
+		if err != nil {
+			return nil, err
+		}
+		if w <= 0 {
+			continue
+		}
+		keys = append(keys, keyed{row: r, key: -math.Log(rng.Float64()) / w})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key < keys[j].key })
+	out := make([]uint64, len(keys))
+	for i, k := range keys {
+		out[i] = k.row
+	}
+	return out, nil
+}
+
+// buildColumns converts selectors into view columns. A bare tensor
+// reference becomes an identity column (streamed raw, decode deferred to
+// the loader); anything else becomes a computed column evaluated per row.
+func buildColumns(ds *core.Dataset, q *Query) ([]view.Column, error) {
+	if q.Star {
+		return nil, nil // view.New expands nil to all visible tensors
+	}
+	seen := map[string]bool{}
+	var out []view.Column
+	for i, sel := range q.Selectors {
+		name := sel.Alias
+		if id, ok := sel.Expr.(Ident); ok {
+			if ds.Tensor(string(id)) == nil {
+				return nil, fmt.Errorf("tql: unknown tensor %q", id)
+			}
+			if name == "" {
+				name = string(id)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("tql: duplicate output column %q", name)
+			}
+			seen[name] = true
+			out = append(out, view.Column{Name: name, Source: string(id)})
+			continue
+		}
+		if name == "" {
+			name = fmt.Sprintf("col%d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tql: duplicate output column %q", name)
+		}
+		seen[name] = true
+		expr := sel.Expr
+		out = append(out, view.Column{
+			Name: name,
+			Eval: func(ctx context.Context, row uint64) (*tensor.NDArray, error) {
+				v, err := evalExpr(newEnv(ctx, ds, row), expr)
+				if err != nil {
+					return nil, err
+				}
+				return v.AsArray()
+			},
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,461 @@
+package tql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse compiles a TQL statement into a Query AST.
+func Parse(src string) (*Query, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("tql: unexpected %q at position %d", p.cur().text, p.cur().pos)
+	}
+	return q, nil
+}
+
+type parser struct {
+	tokens []token
+	i      int
+}
+
+func (p *parser) cur() token { return p.tokens[p.i] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.at(tokIdent, kw)
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, fmt.Errorf("tql: expected %q, found %q at position %d", text, p.cur().text, p.cur().pos)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("tql: expected %s, found %q at position %d", kw, p.cur().text, p.cur().pos)
+	}
+	p.advance()
+	return nil
+}
+
+// query := SELECT selectors [FROM name] [WHERE e] [GROUP BY e]
+//
+//	[ORDER BY e [ASC|DESC]] [ARRANGE BY e] [SAMPLE BY e]
+//	[LIMIT n [OFFSET n]] [VERSION str]
+func (p *parser) query() (*Query, error) {
+	q := &Query{Limit: -1}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.at(tokOp, "*") {
+		p.advance()
+		q.Star = true
+	} else {
+		for {
+			sel, err := p.selector()
+			if err != nil {
+				return nil, err
+			}
+			q.Selectors = append(q.Selectors, sel)
+			if !p.at(tokOp, ",") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.atKeyword("FROM") {
+		p.advance()
+		switch {
+		case p.cur().kind == tokIdent && !keywords[p.cur().text]:
+			q.From = p.advance().text
+		case p.cur().kind == tokString:
+			q.From = p.advance().text
+		default:
+			return nil, fmt.Errorf("tql: expected dataset name after FROM at position %d", p.cur().pos)
+		}
+	}
+	if p.atKeyword("WHERE") {
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.atKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = e
+	}
+	if p.atKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = e
+		if p.atKeyword("ASC") {
+			p.advance()
+		} else if p.atKeyword("DESC") {
+			p.advance()
+			q.OrderDesc = true
+		}
+	}
+	if p.atKeyword("ARRANGE") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.ArrangeBy = e
+	}
+	if p.atKeyword("SAMPLE") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.SampleBy = e
+	}
+	if p.atKeyword("LIMIT") {
+		p.advance()
+		n, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = n
+		if p.atKeyword("OFFSET") {
+			p.advance()
+			off, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			q.Offset = off
+		}
+	}
+	if p.atKeyword("VERSION") {
+		p.advance()
+		if p.cur().kind != tokString {
+			return nil, fmt.Errorf("tql: expected version string at position %d", p.cur().pos)
+		}
+		q.Version = p.advance().text
+	}
+	return q, nil
+}
+
+func (p *parser) integer() (int, error) {
+	if p.cur().kind != tokNumber {
+		return 0, fmt.Errorf("tql: expected integer at position %d", p.cur().pos)
+	}
+	t := p.advance()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("tql: %q is not an integer", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) selector() (Selector, error) {
+	e, err := p.expr()
+	if err != nil {
+		return Selector{}, err
+	}
+	sel := Selector{Expr: e}
+	if p.atKeyword("AS") {
+		p.advance()
+		if p.cur().kind != tokIdent || keywords[p.cur().text] {
+			return Selector{}, fmt.Errorf("tql: expected alias at position %d", p.cur().pos)
+		}
+		sel.Alias = p.advance().text
+	}
+	return sel, nil
+}
+
+// Expression precedence: OR < AND < NOT < comparison < additive <
+// multiplicative < unary < postfix < primary.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", X: x}, nil
+	}
+	return p.comparison()
+}
+
+var comparisonOps = map[string]bool{"==": true, "=": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokOp && comparisonOps[p.cur().text] {
+		op := p.advance().text
+		if op == "=" {
+			op = "=="
+		}
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "+") || p.at(tokOp, "-") {
+		op := p.advance().text
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "*") || p.at(tokOp, "/") || p.at(tokOp, "%") {
+		op := p.advance().text
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.at(tokOp, "-") {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "[") {
+		p.advance()
+		var specs []IndexSpec
+		for {
+			spec, err := p.indexSpec()
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, spec)
+			if p.at(tokOp, ",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, "]"); err != nil {
+			return nil, err
+		}
+		x = Index{X: x, Specs: specs}
+	}
+	return x, nil
+}
+
+// indexSpec := expr | [expr] ':' [expr]
+func (p *parser) indexSpec() (IndexSpec, error) {
+	var lo Expr
+	if !p.at(tokOp, ":") {
+		e, err := p.expr()
+		if err != nil {
+			return IndexSpec{}, err
+		}
+		lo = e
+	}
+	if p.at(tokOp, ":") {
+		p.advance()
+		var hi Expr
+		if !p.at(tokOp, ",") && !p.at(tokOp, "]") {
+			e, err := p.expr()
+			if err != nil {
+				return IndexSpec{}, err
+			}
+			hi = e
+		}
+		return IndexSpec{Slice: true, Lo: lo, Hi: hi}, nil
+	}
+	if lo == nil {
+		return IndexSpec{}, fmt.Errorf("tql: empty index at position %d", p.cur().pos)
+	}
+	return IndexSpec{Point: lo}, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tql: bad number %q", t.text)
+		}
+		return NumberLit(f), nil
+	case t.kind == tokString:
+		p.advance()
+		return StringLit(t.text), nil
+	case t.kind == tokIdent && t.text == "TRUE":
+		p.advance()
+		return BoolLit(true), nil
+	case t.kind == tokIdent && t.text == "FALSE":
+		p.advance()
+		return BoolLit(false), nil
+	case t.kind == tokIdent && !keywords[t.text]:
+		p.advance()
+		// Function call or identifier.
+		if p.at(tokOp, "(") {
+			p.advance()
+			var args []Expr
+			if !p.at(tokOp, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.at(tokOp, ",") {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return Call{Name: strings.ToUpper(t.text), Args: args}, nil
+		}
+		return Ident(t.text), nil
+	case t.kind == tokOp && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokOp && t.text == "[":
+		p.advance()
+		var elems []Expr
+		if !p.at(tokOp, "]") {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.at(tokOp, ",") {
+					p.advance()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, "]"); err != nil {
+			return nil, err
+		}
+		return ArrayLit(elems), nil
+	}
+	return nil, fmt.Errorf("tql: unexpected %q at position %d", t.text, t.pos)
+}

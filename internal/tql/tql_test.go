@@ -1,0 +1,478 @@
+package tql
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+var smallBounds = chunk.Bounds{Min: 64, Target: 128, Max: 256}
+
+// queryDataset builds a small detection-style dataset: images, labels,
+// boxes, plus reference boxes under a group path.
+func queryDataset(t *testing.T) *core.Dataset {
+	t.Helper()
+	ctx := context.Background()
+	ds, err := core.Create(ctx, storage.NewMemory(), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "images", Dtype: tensor.UInt8, Bounds: smallBounds})
+	labels, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "labels", Htype: "class_label", Bounds: smallBounds})
+	boxes, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "boxes", Htype: "bbox", Bounds: smallBounds})
+	ref, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "training/boxes", Htype: "bbox", Bounds: smallBounds})
+
+	for i := 0; i < 10; i++ {
+		img := tensor.MustNew(tensor.UInt8, 8, 8)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				img.SetAt(float64((i+y+x)%256), y, x)
+			}
+		}
+		if err := imgs.Append(ctx, img); err != nil {
+			t.Fatal(err)
+		}
+		if err := labels.Append(ctx, tensor.Scalar(tensor.Int32, float64(i%3))); err != nil {
+			t.Fatal(err)
+		}
+		// Predicted box drifts away from the reference as i grows.
+		b, _ := tensor.FromFloat64s(tensor.Float32, []int{1, 4}, []float64{float64(i), 0, 10, 10})
+		if err := boxes.Append(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := tensor.FromFloat64s(tensor.Float32, []int{1, 4}, []float64{0, 0, 10, 10})
+		if err := ref.Append(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func labelsOf(t *testing.T, v interface {
+	Len() int
+	At(context.Context, int, string) (*tensor.NDArray, error)
+}) []int {
+	t.Helper()
+	out := make([]int, v.Len())
+	for i := range out {
+		arr, err := v.At(context.Background(), i, "labels")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := arr.Item()
+		out[i] = int(f)
+	}
+	return out
+}
+
+func TestParseFig5Query(t *testing.T) {
+	src := `SELECT
+		images[100:500, 100:500, 0:2] as crop,
+		NORMALIZE(boxes, [100, 100, 400, 400]) as box
+	FROM dataset
+	WHERE IOU(boxes, "training/boxes") > 0.95
+	ORDER BY IOU(boxes, "training/boxes")
+	ARRANGE BY labels`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Selectors) != 2 || q.Selectors[0].Alias != "crop" || q.Selectors[1].Alias != "box" {
+		t.Fatalf("selectors = %+v", q.Selectors)
+	}
+	if q.From != "dataset" || q.Where == nil || q.OrderBy == nil || q.ArrangeBy == nil {
+		t.Fatalf("clauses = %+v", q)
+	}
+	ix, ok := q.Selectors[0].Expr.(Index)
+	if !ok || len(ix.Specs) != 3 || !ix.Specs[0].Slice {
+		t.Fatalf("crop selector = %+v", q.Selectors[0].Expr)
+	}
+	// Round trip through String -> Parse.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("non-idempotent string:\n%s\n%s", q.String(), q2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"WHERE x > 1",
+		"SELECT",
+		"SELECT x FROM",
+		"SELECT x WHERE",
+		"SELECT x LIMIT notanumber",
+		"SELECT x ORDER x",
+		"SELECT x[",
+		"SELECT x[]",
+		"SELECT f(",
+		"SELECT 'unterminated",
+		"SELECT 1.2.3",
+		"SELECT x; DROP TABLE",
+		"SELECT x AS 3",
+		"SELECT x VERSION v1", // version must be a string
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should error", src)
+		}
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	ds := queryDataset(t)
+	v, err := Run(context.Background(), ds, "SELECT * FROM q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 10 {
+		t.Fatalf("rows = %d", v.Len())
+	}
+	want := []string{"images", "labels", "boxes", "training/boxes"}
+	if !reflect.DeepEqual(v.ColumnNames(), want) {
+		t.Fatalf("columns = %v", v.ColumnNames())
+	}
+}
+
+func TestWhereFilter(t *testing.T) {
+	ds := queryDataset(t)
+	v, err := Run(context.Background(), ds, "SELECT labels FROM q WHERE labels == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := labelsOf(t, v)
+	if !reflect.DeepEqual(got, []int{1, 1, 1}) {
+		t.Fatalf("labels = %v", got)
+	}
+}
+
+func TestWhereCompound(t *testing.T) {
+	ds := queryDataset(t)
+	v, err := Run(context.Background(), ds, "SELECT labels FROM q WHERE labels == 1 OR labels == 2 AND NOT (labels == 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := labelsOf(t, v)
+	if !reflect.DeepEqual(got, []int{1, 2, 1, 2, 1, 2}) {
+		t.Fatalf("labels = %v", got)
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	ds := queryDataset(t)
+	v, err := Run(context.Background(), ds, "SELECT labels FROM q ORDER BY ROW() DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := v.Indices()
+	if !reflect.DeepEqual(idx, []uint64{9, 8, 7}) {
+		t.Fatalf("indices = %v", idx)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	ds := queryDataset(t)
+	v, err := Run(context.Background(), ds, "SELECT labels FROM q LIMIT 4 OFFSET 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v.Indices(), []uint64{2, 3, 4, 5}) {
+		t.Fatalf("indices = %v", v.Indices())
+	}
+	// Offset beyond the result is empty, not an error.
+	v, err = Run(context.Background(), ds, "SELECT labels FROM q LIMIT 5 OFFSET 100")
+	if err != nil || v.Len() != 0 {
+		t.Fatalf("oversized offset = %d rows, %v", v.Len(), err)
+	}
+}
+
+func TestArrangeByBalancesClasses(t *testing.T) {
+	ds := queryDataset(t)
+	v, err := Run(context.Background(), ds, "SELECT labels FROM q ARRANGE BY labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := labelsOf(t, v)
+	// 10 rows with labels i%3: groups 0(4), 1(3), 2(3) -> round robin.
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("arranged labels = %v, want %v", got, want)
+	}
+}
+
+func TestGroupByAdjacent(t *testing.T) {
+	ds := queryDataset(t)
+	v, err := Run(context.Background(), ds, "SELECT labels FROM q GROUP BY labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := labelsOf(t, v)
+	want := []int{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("grouped labels = %v", got)
+	}
+}
+
+func TestIOUFilterAndOrderFig5Semantics(t *testing.T) {
+	ds := queryDataset(t)
+	// Boxes drift by i; IOU(boxes, ref) decreases with i. Threshold keeps
+	// small i only.
+	v, err := Run(context.Background(), ds, `SELECT labels FROM q WHERE IOU(boxes, "training/boxes") > 0.8 ORDER BY IOU(boxes, "training/boxes") DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IoU for shift i: (10-i)/(10+i) > 0.8 -> i == 0 or 1.
+	if !reflect.DeepEqual(v.Indices(), []uint64{0, 1}) {
+		t.Fatalf("indices = %v", v.Indices())
+	}
+}
+
+func TestSliceProjection(t *testing.T) {
+	ds := queryDataset(t)
+	ctx := context.Background()
+	v, err := Run(ctx, ds, "SELECT images[2:4, 0:3] as crop FROM q LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crop, err := v.At(ctx, 0, "crop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(crop.Shape(), []int{2, 3}) {
+		t.Fatalf("crop shape = %v", crop.Shape())
+	}
+	// Value check against direct read.
+	full, _ := ds.Tensor("images").At(ctx, 0)
+	want, _ := full.Slice(tensor.Range{Start: 2, Stop: 4}, tensor.Range{Start: 0, Stop: 3})
+	if !crop.Equal(want) {
+		t.Fatal("crop mismatch")
+	}
+}
+
+func TestNormalizeProjection(t *testing.T) {
+	ds := queryDataset(t)
+	ctx := context.Background()
+	v, err := Run(ctx, ds, "SELECT NORMALIZE(boxes, [0, 0, 20, 20]) as nb FROM q LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := v.At(ctx, 0, "nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nb.Float64s(), []float64{0, 0, 0.5, 0.5}) {
+		t.Fatalf("normalized = %v", nb.Float64s())
+	}
+}
+
+func TestArithmeticAndBuiltins(t *testing.T) {
+	ds := queryDataset(t)
+	ctx := context.Background()
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{"labels + 1", 1},
+		{"labels * 2 + 3", 3},
+		{"-labels", 0},
+		{"MEAN(images)", meanOfImage0(t, ds)},
+		{"MAX(boxes)", 10},
+		{"MIN(boxes)", 0},
+		{"SUM([1, 2, 3])", 6},
+		{"ABS(0 - 5)", 5},
+		{"CLIP(labels + 10, 0, 4)", 4},
+		{"SIZE(images)", 64},
+		{"NDIM(images)", 2},
+		{"LEN(boxes)", 1},
+		{"ROW()", 0},
+		{"DOT([1,2],[3,4])", 11},
+		{"10 % 3", 1},
+	}
+	for _, c := range cases {
+		v, err := Run(ctx, ds, "SELECT "+c.expr+" as out FROM q LIMIT 1")
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		arr, err := v.At(ctx, 0, "out")
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		got, _ := arr.Item()
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func meanOfImage0(t *testing.T, ds *core.Dataset) float64 {
+	arr, err := ds.Tensor("images").At(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr.Mean()
+}
+
+func TestShapePushdownAvoidsChunkIO(t *testing.T) {
+	ctx := context.Background()
+	inner := storage.NewMemory()
+	count := storage.NewCounting(inner)
+	ds, err := core.Create(ctx, count, "shapes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "x", Dtype: tensor.UInt8, Bounds: smallBounds})
+	for i := 0; i < 30; i++ {
+		dim := 4
+		if i%2 == 0 {
+			dim = 6
+		}
+		tr.Append(ctx, tensor.MustNew(tensor.UInt8, dim, dim))
+	}
+	if err := ds.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	count.Gets = 0
+	count.RangeGets = 0
+	v, err := Run(ctx, ds, "SELECT SHAPE(x)[0] as h FROM shapes WHERE SHAPE(x)[0] == 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 15 {
+		t.Fatalf("rows = %d", v.Len())
+	}
+	if count.Gets+count.RangeGets != 0 {
+		t.Fatalf("shape-only filter did %d chunk reads; want 0 (pushdown)", count.Gets+count.RangeGets)
+	}
+
+	// Plan marks the pushdown.
+	q, _ := Parse("SELECT x FROM shapes WHERE SHAPE(x)[0] == 6")
+	plan, _ := Compile(q)
+	if !strings.Contains(plan.Explain(), "shape-encoder pushdown") {
+		t.Fatalf("explain missing pushdown note:\n%s", plan.Explain())
+	}
+}
+
+func TestVersionedQuery(t *testing.T) {
+	ctx := context.Background()
+	ds, err := core.Create(ctx, storage.NewMemory(), "versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "x", Dtype: tensor.Int32, Bounds: smallBounds})
+	for i := 0; i < 3; i++ {
+		x.Append(ctx, tensor.Scalar(tensor.Int32, float64(i)))
+	}
+	c1, _ := ds.Commit(ctx, "three")
+	for i := 3; i < 6; i++ {
+		x.Append(ctx, tensor.Scalar(tensor.Int32, float64(i)))
+	}
+	ds.Flush(ctx)
+
+	v, err := Run(ctx, ds, `SELECT x FROM versions VERSION "`+c1+`"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 3 {
+		t.Fatalf("rows at %s = %d, want 3", c1, v.Len())
+	}
+	// Current head sees all six.
+	v, err = Run(ctx, ds, "SELECT x FROM versions")
+	if err != nil || v.Len() != 6 {
+		t.Fatalf("rows at head = %d, %v", v.Len(), err)
+	}
+	if _, err := Run(ctx, ds, `SELECT x FROM versions VERSION "nope"`); err == nil {
+		t.Fatal("unknown version should error")
+	}
+}
+
+func TestSampleByIsWeightedAndDeterministic(t *testing.T) {
+	ds := queryDataset(t)
+	ctx := context.Background()
+	// Weight label-0 rows at zero: they must never appear.
+	q := "SELECT labels FROM q SAMPLE BY labels"
+	v1, err := Run(ctx, ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labelsOf(t, v1) {
+		if l == 0 {
+			t.Fatal("zero-weight row sampled")
+		}
+	}
+	v2, err := Run(ctx, ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v1.Indices(), v2.Indices()) {
+		t.Fatal("sampling must be deterministic per query text")
+	}
+}
+
+func TestContains(t *testing.T) {
+	ds := queryDataset(t)
+	v, err := Run(context.Background(), ds, "SELECT labels FROM q WHERE CONTAINS(SHAPE(images), 8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 10 {
+		t.Fatalf("rows = %d", v.Len())
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	ds := queryDataset(t)
+	ctx := context.Background()
+	for _, src := range []string{
+		"SELECT nosuch FROM q",
+		"SELECT labels FROM q WHERE nosuch == 1",
+		"SELECT labels FROM q ORDER BY images", // non-scalar key
+		"SELECT UNKNOWN_FN(labels) FROM q",
+		"SELECT labels as a, boxes as a FROM q", // duplicate alias
+	} {
+		if _, err := Run(ctx, ds, src); err == nil {
+			t.Errorf("Run(%q) should error", src)
+		}
+	}
+}
+
+func TestRunFullFig5StyleQuery(t *testing.T) {
+	ds := queryDataset(t)
+	ctx := context.Background()
+	src := `SELECT
+		images[0:4, 0:4] as crop,
+		NORMALIZE(boxes, [0, 0, 8, 8]) as box,
+		labels
+	FROM q
+	WHERE IOU(boxes, "training/boxes") > 0.5
+	ORDER BY IOU(boxes, "training/boxes")
+	ARRANGE BY labels`
+	v, err := Run(ctx, ds, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() == 0 {
+		t.Fatal("query returned no rows")
+	}
+	row, err := v.Row(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row["crop"].Shape(), []int{4, 4}) {
+		t.Fatalf("crop shape = %v", row["crop"].Shape())
+	}
+	if !reflect.DeepEqual(row["box"].Shape(), []int{1, 4}) {
+		t.Fatalf("box shape = %v", row["box"].Shape())
+	}
+}

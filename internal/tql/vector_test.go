@@ -1,0 +1,145 @@
+package tql
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// TestVectorSearchViaTQL demonstrates embedding similarity search — §7.3
+// lists vector search as future work for the storage layout, but TQL's
+// COSINE_SIMILARITY + ORDER BY + LIMIT already express brute-force k-NN
+// over an embedding tensor.
+func TestVectorSearchViaTQL(t *testing.T) {
+	ctx := context.Background()
+	ds, err := core.Create(ctx, storage.NewMemory(), "vectors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := ds.CreateTensor(ctx, core.TensorSpec{
+		Name: "embedding", Htype: "embedding",
+		Bounds: chunk.Bounds{Min: 256, Target: 512, Max: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	captions, _ := ds.CreateTensor(ctx, core.TensorSpec{Name: "caption", Htype: "text"})
+
+	// 50 unit-ish vectors in 8 dims; vector i points mostly along axis
+	// i%8 with noise.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		vals := make([]float64, 8)
+		for d := range vals {
+			vals[d] = rng.Float64() * 0.1
+		}
+		vals[i%8] = 1
+		v, _ := tensor.FromFloat64s(tensor.Float32, []int{8}, vals)
+		if err := emb.Append(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		captions.Append(ctx, tensor.FromString(fmt.Sprintf("doc-%d-axis-%d", i, i%8)))
+	}
+
+	// Query: nearest neighbors of the axis-3 direction.
+	q := `SELECT caption, COSINE_SIMILARITY(embedding, [0,0,0,1,0,0,0,0]) as score
+	      FROM vectors
+	      ORDER BY COSINE_SIMILARITY(embedding, [0,0,0,1,0,0,0,0]) DESC
+	      LIMIT 5`
+	v, err := Run(ctx, ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 5 {
+		t.Fatalf("top-k = %d", v.Len())
+	}
+	for i := 0; i < v.Len(); i++ {
+		cap_, err := v.At(ctx, i, "caption")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasSuffix(cap_.AsString(), "axis-3") {
+			t.Fatalf("neighbor %d = %q, want an axis-3 doc", i, cap_.AsString())
+		}
+		score, err := v.At(ctx, i, "score")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := score.Item()
+		if s < 0.9 {
+			t.Fatalf("neighbor %d score = %v", i, s)
+		}
+	}
+}
+
+// TestParserNeverPanics fuzzes the parser with random byte strings and
+// random token recombinations: it must always return (query, nil) or
+// (nil, error), never panic.
+func TestParserNeverPanics(t *testing.T) {
+	pieces := []string{
+		"SELECT", "FROM", "WHERE", "ORDER", "BY", "ARRANGE", "GROUP",
+		"LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "VERSION", "SAMPLE",
+		"images", "labels", "*", ",", "(", ")", "[", "]", ":", "==", "<",
+		">", "+", "-", "/", "%", "1", "2.5", `"str"`, "IOU", "MEAN",
+	}
+	f := func(seed int64, n uint8, raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked: %v", r)
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < int(n)%30; i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			sb.WriteByte(' ')
+		}
+		Parse(sb.String())
+		Parse(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexerEdgeCases covers tokenizer corner inputs.
+func TestLexerEdgeCases(t *testing.T) {
+	cases := map[string]bool{ // src -> should lex cleanly
+		`SELECT "escaped \" quote" FROM x`: true,
+		"SELECT 'single quotes' FROM x":    true,
+		"select lower_case from x":         true,
+		"SELECT x\n\tFROM\r\n y":           true,
+		"SELECT @":                         false,
+		"SELECT #":                         false,
+		"SELECT `tick`":                    false,
+	}
+	for src, ok := range cases {
+		_, err := lex(src)
+		if ok && err != nil {
+			t.Errorf("lex(%q) = %v, want ok", src, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("lex(%q) should error", src)
+		}
+	}
+}
+
+// TestCaseInsensitiveKeywords verifies keyword handling.
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("select labels from ds where labels == 1 order by labels desc limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != "ds" || q.Where == nil || !q.OrderDesc || q.Limit != 3 {
+		t.Fatalf("lower-case query parsed wrong: %+v", q)
+	}
+}

@@ -1,0 +1,7 @@
+package view
+
+import "repro/internal/compress"
+
+func pngCodec() (compress.SampleCodec, error) {
+	return compress.SampleByName("png")
+}

@@ -1,0 +1,43 @@
+package view
+
+import "fmt"
+
+// Stripe partitions a view across a fleet of consumers: rank r of world w
+// receives rows r, r+w, r+2w, ... — the distributed-training sharding of
+// §6.5 where each of 16 GPUs streams its own slice of the dataset.
+func Stripe(v *View, rank, world int) (*View, error) {
+	if world <= 0 || rank < 0 || rank >= world {
+		return nil, fmt.Errorf("view: invalid stripe rank %d of world %d", rank, world)
+	}
+	var indices []uint64
+	src := v.Indices()
+	for i := rank; i < len(src); i += world {
+		indices = append(indices, src[i])
+	}
+	return &View{ds: v.ds, indices: indices, columns: v.columns}, nil
+}
+
+// Contiguous partitions a view into world contiguous blocks, giving rank
+// its block — chunk-friendlier than Stripe when consumers stream
+// sequentially, since each rank touches a disjoint chunk range.
+func Contiguous(v *View, rank, world int) (*View, error) {
+	if world <= 0 || rank < 0 || rank >= world {
+		return nil, fmt.Errorf("view: invalid partition rank %d of world %d", rank, world)
+	}
+	n := v.Len()
+	per := n / world
+	rem := n % world
+	lo := rank*per + min(rank, rem)
+	size := per
+	if rank < rem {
+		size++
+	}
+	return v.Subview(lo, lo+size)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

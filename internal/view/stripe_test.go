@@ -1,0 +1,70 @@
+package view
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStripeCoversAllRowsDisjointly(t *testing.T) {
+	ds := buildDataset(t) // 20 rows
+	v := All(ds)
+	world := 3
+	seen := map[uint64]int{}
+	for rank := 0; rank < world; rank++ {
+		s, err := Stripe(v, rank, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range s.Indices() {
+			seen[idx]++
+		}
+	}
+	if len(seen) != 20 {
+		t.Fatalf("stripes cover %d/20 rows", len(seen))
+	}
+	for idx, count := range seen {
+		if count != 1 {
+			t.Fatalf("row %d assigned %d times", idx, count)
+		}
+	}
+	// Rank 1 of 3 gets rows 1, 4, 7, ...
+	s, _ := Stripe(v, 1, 3)
+	if got := s.Indices()[:3]; !reflect.DeepEqual(got, []uint64{1, 4, 7}) {
+		t.Fatalf("rank-1 stripe = %v", got)
+	}
+	if _, err := Stripe(v, 3, 3); err == nil {
+		t.Fatal("rank == world should error")
+	}
+	if _, err := Stripe(v, 0, 0); err == nil {
+		t.Fatal("zero world should error")
+	}
+}
+
+func TestContiguousPartition(t *testing.T) {
+	ds := buildDataset(t) // 20 rows
+	v := All(ds)
+	// 20 rows over 3 ranks: 7, 7, 6.
+	sizes := []int{7, 7, 6}
+	next := uint64(0)
+	for rank := 0; rank < 3; rank++ {
+		p, err := Contiguous(v, rank, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Len() != sizes[rank] {
+			t.Fatalf("rank %d size = %d, want %d", rank, p.Len(), sizes[rank])
+		}
+		for _, idx := range p.Indices() {
+			if idx != next {
+				t.Fatalf("rank %d: row %d, want %d (blocks must be contiguous)", rank, idx, next)
+			}
+			next++
+		}
+	}
+	if next != 20 {
+		t.Fatalf("covered %d/20 rows", next)
+	}
+	if _, err := Contiguous(v, -1, 3); err == nil {
+		t.Fatal("negative rank should error")
+	}
+}

@@ -1,0 +1,188 @@
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/tql"
+)
+
+// Server exposes a dataset over HTTP for in-browser inspection (§4.3 /
+// §5.4: inspecting datasets of any size from the browser with no download).
+// All handlers stream straight from the dataset's storage provider.
+type Server struct {
+	ds  *core.Dataset
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP API for one dataset.
+func NewServer(ds *core.Dataset) *Server {
+	s := &Server{ds: ds, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /info", s.handleInfo)
+	s.mux.HandleFunc("GET /layout", s.handleLayout)
+	s.mux.HandleFunc("GET /sample", s.handleSample)
+	s.mux.HandleFunc("GET /render", s.handleRender)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	type tensorInfo struct {
+		Name   string `json:"name"`
+		Htype  string `json:"htype"`
+		Dtype  string `json:"dtype"`
+		Length uint64 `json:"length"`
+		Chunks int    `json:"chunks"`
+	}
+	var tensors []tensorInfo
+	for _, name := range s.ds.Tensors() {
+		t := s.ds.Tensor(name)
+		m := t.Meta()
+		tensors = append(tensors, tensorInfo{
+			Name: name, Htype: m.Htype, Dtype: m.Dtype,
+			Length: m.Length, Chunks: t.NumChunks(),
+		})
+	}
+	writeJSON(w, map[string]any{
+		"name":     s.ds.Name(),
+		"branch":   s.ds.Branch(),
+		"version":  s.ds.Version(),
+		"num_rows": s.ds.NumRows(),
+		"tensors":  tensors,
+	})
+}
+
+func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Layout(s.ds))
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("tensor")
+	t := s.ds.Tensor(name)
+	if t == nil {
+		http.Error(w, fmt.Sprintf("unknown tensor %q", name), http.StatusNotFound)
+		return
+	}
+	row, err := strconv.ParseUint(r.URL.Query().Get("row"), 10, 64)
+	if err != nil || row >= t.Len() {
+		http.Error(w, "row out of range", http.StatusBadRequest)
+		return
+	}
+	// Sequence rows support per-item access (§4.3: jump to a position of
+	// the sequence without fetching the whole row).
+	if t.Htype().Sequence {
+		if itemStr := r.URL.Query().Get("item"); itemStr != "" {
+			item, err := strconv.Atoi(itemStr)
+			if err != nil {
+				http.Error(w, "bad item", http.StatusBadRequest)
+				return
+			}
+			items, err := t.SequenceAt(r.Context(), int(row))
+			if err != nil || item < 0 || item >= len(items) {
+				http.Error(w, "item out of range", http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, map[string]any{
+				"shape": items[item].Shape(),
+				"dtype": items[item].Dtype().String(),
+			})
+			return
+		}
+		n, err := t.SequenceLen(int(row))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"sequence_length": n})
+		return
+	}
+	// Video tensors serve individual frames via range reads (§3.4: videos
+	// are exempt from tiling precisely to keep frame access cheap).
+	if t.Htype().Base.Name == "video" {
+		if frameStr := r.URL.Query().Get("frame"); frameStr != "" {
+			frame, err := strconv.Atoi(frameStr)
+			if err != nil {
+				http.Error(w, "bad frame", http.StatusBadRequest)
+				return
+			}
+			arr, err := t.Slice(r.Context(), row, []tensor.Range{{Start: frame, Stop: frame + 1}})
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, map[string]any{"shape": arr.Shape(), "dtype": arr.Dtype().String()})
+			return
+		}
+	}
+	// Media tensors stream their stored (already encoded) bytes without
+	// recoding; everything else returns JSON values.
+	if t.Meta().SampleCompression == "jpeg" {
+		raw, _, err := t.RawAt(r.Context(), row)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "image/jpeg")
+		w.Write(raw)
+		return
+	}
+	arr, err := t.At(r.Context(), row)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	payload := map[string]any{"shape": arr.Shape(), "dtype": arr.Dtype().String()}
+	if t.Htype().Base.Name == "text" {
+		payload["text"] = arr.AsString()
+	} else if arr.Len() <= 4096 {
+		payload["values"] = arr.Float64s()
+	}
+	writeJSON(w, payload)
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	row, err := strconv.ParseUint(r.URL.Query().Get("row"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad row", http.StatusBadRequest)
+		return
+	}
+	pngBytes, err := RenderSample(r.Context(), s.ds, row, RenderOptions{})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Write(pngBytes)
+}
+
+// handleQuery runs a TQL query and returns the selected row indices and
+// columns — the §4.4 integration between query results and visualization.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q", http.StatusBadRequest)
+		return
+	}
+	v, err := tql.Run(r.Context(), s.ds, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"rows":    v.Indices(),
+		"columns": v.ColumnNames(),
+		"sparse":  v.IsSparse(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

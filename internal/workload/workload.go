@@ -1,0 +1,144 @@
+// Package workload generates the synthetic datasets standing in for the
+// paper's evaluation data (§6): FFHQ-like 1024x1024x3 raw images (Fig 6),
+// 250x250x3 JPEG-compressible images (Figs 7-8), ImageNet-like classified
+// images (Fig 9), and LAION-like image+caption pairs (Fig 10).
+//
+// Images are deterministic functions of (seed, index) and combine smooth
+// gradients, blobs and mild noise so JPEG achieves realistic compression
+// ratios — pure noise would make every format look identical, pure flat
+// color would flatter compressed formats.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ImageSpec describes a synthetic image family.
+type ImageSpec struct {
+	Height, Width, Channels int
+	// Seed makes the family deterministic.
+	Seed int64
+}
+
+// FFHQLike matches the Fig 6 corpus: 1024x1024x3 uncompressed, ~3MB each.
+func FFHQLike() ImageSpec { return ImageSpec{Height: 1024, Width: 1024, Channels: 3, Seed: 6} }
+
+// Small250 matches the Fig 7/8 corpus: 250x250x3 JPEG-compressed images.
+func Small250() ImageSpec { return ImageSpec{Height: 250, Width: 250, Channels: 3, Seed: 7} }
+
+// ImageNetLike matches the Fig 9 corpus: 224x224x3 classified images.
+func ImageNetLike() ImageSpec { return ImageSpec{Height: 224, Width: 224, Channels: 3, Seed: 9} }
+
+// LAIONLike matches the Fig 10 corpus: 256x256x3 images paired with text.
+func LAIONLike() ImageSpec { return ImageSpec{Height: 256, Width: 256, Channels: 3, Seed: 10} }
+
+// Image deterministically synthesizes image i of the family as an HWC
+// uint8 array.
+func (s ImageSpec) Image(i int) *tensor.NDArray {
+	rng := rand.New(rand.NewSource(s.Seed*1_000_003 + int64(i)))
+	h, w, c := s.Height, s.Width, s.Channels
+	pix := make([]byte, h*w*c)
+
+	// Per-image gradient orientation and palette.
+	gx := rng.Float64()*2 - 1
+	gy := rng.Float64()*2 - 1
+	base := [3]float64{rng.Float64() * 255, rng.Float64() * 255, rng.Float64() * 255}
+
+	// A few random soft blobs (faces/objects stand-ins).
+	type blob struct{ cx, cy, r, amp float64 }
+	blobs := make([]blob, 3+rng.Intn(4))
+	for b := range blobs {
+		blobs[b] = blob{
+			cx:  rng.Float64() * float64(w),
+			cy:  rng.Float64() * float64(h),
+			r:   (0.05 + rng.Float64()*0.2) * float64(minInt(h, w)),
+			amp: rng.Float64()*160 - 80,
+		}
+	}
+	noise := rng.Float64() * 6
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g := gx*float64(x)/float64(w) + gy*float64(y)/float64(h)
+			v := 60 * g
+			for _, b := range blobs {
+				dx := (float64(x) - b.cx) / b.r
+				dy := (float64(y) - b.cy) / b.r
+				d2 := dx*dx + dy*dy
+				if d2 < 9 {
+					v += b.amp * math.Exp(-d2)
+				}
+			}
+			n := (rng.Float64()*2 - 1) * noise
+			for ch := 0; ch < c; ch++ {
+				f := base[ch%3] + v + n
+				if f < 0 {
+					f = 0
+				}
+				if f > 255 {
+					f = 255
+				}
+				pix[(y*w+x)*c+ch] = byte(f)
+			}
+		}
+	}
+	arr, _ := tensor.FromBytes(tensor.UInt8, shapeOf(h, w, c), pix)
+	return arr
+}
+
+func shapeOf(h, w, c int) []int {
+	if c == 1 {
+		return []int{h, w}
+	}
+	return []int{h, w, c}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Label deterministically assigns image i one of numClasses labels.
+func Label(seed int64, i, numClasses int) *tensor.NDArray {
+	rng := rand.New(rand.NewSource(seed*7_368_787 + int64(i)))
+	return tensor.Scalar(tensor.Int32, float64(rng.Intn(numClasses)))
+}
+
+// captionNouns/captionAdjectives feed the LAION-like caption generator.
+var (
+	captionAdjectives = []string{"vivid", "serene", "ancient", "bustling", "quiet", "neon", "foggy", "golden", "crimson", "vast"}
+	captionNouns      = []string{"harbor", "mountain", "market", "forest", "skyline", "desert", "garden", "bridge", "canyon", "library"}
+	captionVerbs      = []string{"at dawn", "after rain", "in winter", "under stars", "at dusk", "in spring"}
+)
+
+// Caption deterministically generates a LAION-like alt-text caption.
+func Caption(seed int64, i int) string {
+	rng := rand.New(rand.NewSource(seed*104_729 + int64(i)))
+	return fmt.Sprintf("a %s %s %s, photo %d",
+		captionAdjectives[rng.Intn(len(captionAdjectives))],
+		captionNouns[rng.Intn(len(captionNouns))],
+		captionVerbs[rng.Intn(len(captionVerbs))],
+		i)
+}
+
+// BBoxes deterministically generates n detection boxes [x, y, w, h] inside
+// an image of the given size.
+func BBoxes(seed int64, i, n, height, width int) *tensor.NDArray {
+	rng := rand.New(rand.NewSource(seed*15_485_863 + int64(i)))
+	vals := make([]float64, 0, n*4)
+	for k := 0; k < n; k++ {
+		w := 8 + rng.Float64()*float64(width)/2
+		h := 8 + rng.Float64()*float64(height)/2
+		x := rng.Float64() * (float64(width) - w)
+		y := rng.Float64() * (float64(height) - h)
+		vals = append(vals, x, y, w, h)
+	}
+	arr, _ := tensor.FromFloat64s(tensor.Float32, []int{n, 4}, vals)
+	return arr
+}

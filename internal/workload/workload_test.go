@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+func TestImageDeterministicAndShaped(t *testing.T) {
+	spec := Small250()
+	a := spec.Image(3)
+	b := spec.Image(3)
+	c := spec.Image(4)
+	if !reflect.DeepEqual(a.Shape(), []int{250, 250, 3}) {
+		t.Fatalf("shape = %v", a.Shape())
+	}
+	if !a.Equal(b) {
+		t.Fatal("same (seed, index) must reproduce the same image")
+	}
+	if a.Equal(c) {
+		t.Fatal("different indices must differ")
+	}
+}
+
+func TestImagesAreJPEGCompressible(t *testing.T) {
+	// The generator must produce images that JPEG compresses at a
+	// realistic ratio (neither flat nor pure noise).
+	codec, err := compress.SampleByName("jpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Small250()
+	img := spec.Image(0)
+	s := img.Shape()
+	enc, err := codec.Encode(img.Bytes(), s[0], s[1], s[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(img.NumBytes()) / float64(len(enc))
+	if ratio < 2 || ratio > 80 {
+		t.Fatalf("jpeg ratio = %.1fx, want a realistic 2-80x", ratio)
+	}
+}
+
+func TestAllSpecs(t *testing.T) {
+	for _, spec := range []ImageSpec{FFHQLike(), Small250(), ImageNetLike(), LAIONLike()} {
+		img := spec.Image(0)
+		if img.NumBytes() != spec.Height*spec.Width*spec.Channels {
+			t.Fatalf("%+v produced %d bytes", spec, img.NumBytes())
+		}
+		if img.Dtype() != tensor.UInt8 {
+			t.Fatalf("dtype = %v", img.Dtype())
+		}
+	}
+}
+
+func TestLabelsInRange(t *testing.T) {
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		l := Label(1, i, 10)
+		v, _ := l.Item()
+		if v < 0 || v > 9 {
+			t.Fatalf("label %v out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("labels poorly distributed: %d distinct", len(seen))
+	}
+	a, _ := Label(1, 5, 10).Item()
+	b, _ := Label(1, 5, 10).Item()
+	if a != b {
+		t.Fatal("labels must be deterministic")
+	}
+}
+
+func TestCaptions(t *testing.T) {
+	a := Caption(1, 7)
+	b := Caption(1, 7)
+	c := Caption(1, 8)
+	if a != b {
+		t.Fatal("captions must be deterministic")
+	}
+	if a == c {
+		t.Fatal("captions should vary across indices")
+	}
+	if len(a) < 10 {
+		t.Fatalf("caption too short: %q", a)
+	}
+}
+
+func TestBBoxesInsideImage(t *testing.T) {
+	boxes := BBoxes(1, 0, 5, 100, 200)
+	if !reflect.DeepEqual(boxes.Shape(), []int{5, 4}) {
+		t.Fatalf("shape = %v", boxes.Shape())
+	}
+	vals := boxes.Float64s()
+	for k := 0; k < 5; k++ {
+		x, y, w, h := vals[k*4], vals[k*4+1], vals[k*4+2], vals[k*4+3]
+		if x < 0 || y < 0 || x+w > 200 || y+h > 100 {
+			t.Fatalf("box %d [%v %v %v %v] outside 100x200 image", k, x, y, w, h)
+		}
+	}
+}
