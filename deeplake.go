@@ -19,6 +19,29 @@
 //	view, _ := deeplake.Query(ctx, ds, `SELECT * FROM quickstart WHERE labels == 2`)
 //	loader := deeplake.NewLoader(view, deeplake.LoaderOptions{BatchSize: 32, Shuffle: true})
 //	for batch := range loader.Batches(ctx) { ... }
+//
+// # Caching and the concurrent read path
+//
+// The §3.6 provider chain — an in-memory cache in front of remote object
+// storage — is built for many concurrent readers. WithLRUCache (or
+// WithCache for explicit sizing) chains a cache whose entries are spread
+// over mutex-striped shards, so parallel lookups do not serialize behind a
+// single lock, and whose misses are read-coalesced: however many readers
+// miss on the same object at the same moment, exactly one Get reaches the
+// origin and every waiter shares its result. Stats (per-shard hits, misses,
+// resident bytes, plus the coalesced-fetch count) are available from the
+// concrete *storage.LRU via WithCache.
+//
+// The dataloader layers the same idea over decoded chunks: its chunk cache
+// coalesces concurrent fetch+decode of one chunk across workers, and a
+// readahead scheduler walks the sampler's visit order a configurable number
+// of chunks ahead (LoaderOptions.Readahead) so origin latency overlaps with
+// decode and transform work. Run
+//
+//	go run ./cmd/benchfig readers
+//
+// to measure the aggregate throughput of 1/4/16 concurrent readers sharing
+// one cache over simulated S3, and the hot-chunk coalescing guarantee.
 package deeplake
 
 import (
@@ -175,9 +198,39 @@ func NewS3CrossRegionSimStore() Provider {
 func NewMinIOSimStore() Provider { return storage.NewSimObjectStore(simnet.MinIOLAN()) }
 
 // WithLRUCache chains an in-memory LRU cache of the given byte capacity in
-// front of a slower provider (§3.6).
+// front of a slower provider (§3.6). The cache is sharded and
+// read-coalescing; see WithCache to control the shard count or to keep the
+// concrete type for stats.
 func WithLRUCache(origin Provider, capacity int64) Provider {
 	return storage.NewLRU(origin, capacity)
+}
+
+// CacheOptions sizes the provider-chain cache.
+type CacheOptions struct {
+	// Capacity is the total byte budget, split evenly across shards.
+	Capacity int64
+	// Shards is the number of mutex-striped shards. Zero picks a count
+	// scaled to Capacity (one shard per 16MB, at most
+	// storage.DefaultShards) so per-shard capacity always fits full-size
+	// chunks. One shard gives globally exact LRU ordering; more shards
+	// trade eviction precision for lookup concurrency, and objects larger
+	// than Capacity/Shards bypass the cache.
+	Shards int
+}
+
+// CacheStats reports cache counters: aggregate and per-shard hits, misses,
+// and resident bytes, plus how many fetches were coalesced into another
+// reader's in-flight origin Get.
+type CacheStats = storage.Stats
+
+// WithCache chains a sharded, read-coalescing in-memory cache in front of a
+// slower provider. The returned *storage.LRU implements Provider and
+// exposes Stats().
+func WithCache(origin Provider, opts CacheOptions) *storage.LRU {
+	if opts.Shards <= 0 {
+		return storage.NewLRU(origin, opts.Capacity)
+	}
+	return storage.NewShardedLRU(origin, opts.Capacity, opts.Shards)
 }
 
 // Array constructors.

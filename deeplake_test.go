@@ -114,6 +114,35 @@ func TestPublicAPIOnSimulatedS3(t *testing.T) {
 	}
 }
 
+func TestWithCacheExposesShardedStats(t *testing.T) {
+	ctx := context.Background()
+	s3 := NewS3SimStore()
+	buildQuickstart(t, s3, 16)
+	cached := WithCache(s3, CacheOptions{Capacity: 1 << 28, Shards: 4})
+	ds, err := Open(ctx, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewDatasetLoader(ds, LoaderOptions{BatchSize: 4, Workers: 4})
+	rows := 0
+	for b := range loader.Batches(ctx) {
+		rows += len(b.Samples)
+	}
+	if err := loader.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 16 {
+		t.Fatalf("rows = %d", rows)
+	}
+	var stats CacheStats = cached.Stats()
+	if len(stats.Shards) != 4 {
+		t.Fatalf("shard stats = %d entries, want 4", len(stats.Shards))
+	}
+	if stats.Misses == 0 || stats.UsedBytes == 0 {
+		t.Fatalf("stats = %+v, want traffic recorded", stats)
+	}
+}
+
 func TestLRUCacheChainServesSecondEpoch(t *testing.T) {
 	ctx := context.Background()
 	s3 := NewS3SimStore()

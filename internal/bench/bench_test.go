@@ -34,8 +34,9 @@ func TestFig6ShapeHolds(t *testing.T) {
 		t.Fatalf("array formats wrote %.1f/%.1f MB vs deeplake %.1f MB; expected >= 2x amplification", zarrMB, n5MB, dlMB)
 	}
 	// Loose timing sanity (tight ordering is asserted at full benchfig
-	// scale, where IO dominates CPU jitter).
-	if dl > 2*zarr {
+	// scale, where IO dominates CPU jitter). Race-detector instrumentation
+	// skews this CPU-bound comparison, so it only runs uninstrumented.
+	if !raceEnabled && dl > 2*zarr {
 		t.Fatalf("deeplake %.3fs should not be 2x slower than zarr %.3fs", dl, zarr)
 	}
 	if !strings.Contains(res.Format(), "fig6") {
@@ -111,11 +112,13 @@ func TestFig9ShapeHolds(t *testing.T) {
 	if local <= 0 || stream <= 0 || fileMode <= 0 || fastFile <= 0 {
 		t.Fatalf("rows = %+v", res.Rows)
 	}
-	// Headline: streaming ~ local; file mode pays the copy phase.
+	// Headline: streaming ~ local; file mode pays the copy phase. Ordering
+	// at this reduced scale is within the race detector's noise floor, so
+	// it is only asserted in uninstrumented builds.
 	if stream > local*3 {
 		t.Fatalf("deeplake-stream %.2fs too far from local %.2fs", stream, local)
 	}
-	if fileMode <= stream {
+	if !raceEnabled && fileMode <= stream {
 		t.Fatalf("file mode %.2fs should exceed streaming %.2fs", fileMode, stream)
 	}
 }
@@ -125,8 +128,15 @@ func TestFig10ShapeHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The race detector's instrumentation slows the loader relative to the
+	// simulated GPU clock, deflating measured utilization; only the sanity
+	// floor applies there.
+	floor := 40.0
+	if raceEnabled {
+		floor = 10.0
+	}
 	util, ok := res.Value("mean-gpu-utilization")
-	if !ok || util < 40 || util > 100 {
+	if !ok || util < floor || util > 100 {
 		t.Fatalf("mean utilization = %.1f%%", util)
 	}
 	agg, ok := res.Value("aggregate-throughput")

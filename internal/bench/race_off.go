@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the binary was built with the race detector,
+// whose instrumentation slows the simulated training loop enough to skew
+// timing-sensitive utilization measurements.
+const raceEnabled = false

@@ -3,32 +3,40 @@ package dataloader
 import (
 	"container/list"
 	"context"
+	"strconv"
 	"sync"
 
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/storage"
 )
 
 // chunkCache is the loader's buffer of fetched-but-not-yet-consumed chunk
 // data (§3.5: "maintaining a buffer cache of fetched and unutilized data").
-// It deduplicates concurrent fetches of the same chunk (so a shuffled batch
-// touching one chunk pays one GET) and evicts least-recently-used chunks
-// once the byte budget is exceeded.
+// A singleflight layer (shared with the storage cache, storage.Flight)
+// deduplicates concurrent fetches of the same chunk — so however many
+// workers need samples from one chunk, it is read and decoded exactly once —
+// and least-recently-used chunks are evicted once the byte budget is
+// exceeded.
 type chunkCache struct {
 	budget int64
+	flight storage.Flight[[]chunk.Sample]
 
-	mu       sync.Mutex
-	entries  map[cacheKey]*list.Element
-	order    *list.List // front = most recently used
-	used     int64
-	inflight map[cacheKey]*fetchCall
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+	used    int64
 
-	hits, misses int64
+	hits, misses, coalesced int64
 }
 
 type cacheKey struct {
 	tensor  string
 	chunkID uint64
+}
+
+func (k cacheKey) flightKey() string {
+	return k.tensor + "\x00" + strconv.FormatUint(k.chunkID, 10)
 }
 
 type cacheEntry struct {
@@ -37,70 +45,77 @@ type cacheEntry struct {
 	bytes   int64
 }
 
-type fetchCall struct {
-	done    chan struct{}
-	samples []chunk.Sample
-	err     error
-}
-
 func newChunkCache(budget int64) *chunkCache {
 	return &chunkCache{
-		budget:   budget,
-		entries:  map[cacheKey]*list.Element{},
-		order:    list.New(),
-		inflight: map[cacheKey]*fetchCall{},
+		budget:  budget,
+		entries: map[cacheKey]*list.Element{},
+		order:   list.New(),
 	}
 }
 
-// get returns the samples of one chunk, fetching through t once per chunk
-// regardless of how many workers ask concurrently.
+// get returns the samples of one chunk, fetching and decoding through t once
+// per chunk regardless of how many workers ask concurrently.
 func (c *chunkCache) get(ctx context.Context, t *core.Tensor, chunkID uint64) ([]chunk.Sample, error) {
 	key := cacheKey{tensor: t.Name(), chunkID: chunkID}
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
-		samples := el.Value.(*cacheEntry).samples
-		c.mu.Unlock()
+	if samples, ok := c.lookup(key, true); ok {
 		return samples, nil
 	}
-	if call, ok := c.inflight[key]; ok {
+	samples, coalesced, err := c.flight.GetCoalesced(ctx, key.flightKey(),
+		func() ([]chunk.Sample, bool) { return c.lookup(key, false) },
+		func() ([]chunk.Sample, error) {
+			samples, err := t.ReadChunkSamples(ctx, chunkID)
+			if err != nil {
+				return nil, err
+			}
+			c.admit(key, samples)
+			return samples, nil
+		})
+	if coalesced {
+		c.mu.Lock()
+		c.coalesced++
 		c.mu.Unlock()
-		select {
-		case <-call.done:
-			return call.samples, call.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
 	}
-	call := &fetchCall{done: make(chan struct{})}
-	c.inflight[key] = call
-	c.misses++
-	c.mu.Unlock()
-
-	samples, err := t.ReadChunkSamples(ctx, chunkID)
-	call.samples, call.err = samples, err
-	close(call.done)
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if err == nil {
-		var bytes int64
-		for _, s := range samples {
-			bytes += int64(len(s.Data))
-		}
-		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, samples: samples, bytes: bytes})
-		c.used += bytes
-		for c.used > c.budget && c.order.Len() > 1 {
-			back := c.order.Back()
-			ent := back.Value.(*cacheEntry)
-			c.order.Remove(back)
-			delete(c.entries, ent.key)
-			c.used -= ent.bytes
-		}
-	}
-	c.mu.Unlock()
 	return samples, err
+}
+
+// lookup probes the cache; count controls whether the hit/miss ledger is
+// updated (the singleflight leader's re-check is not a new lookup).
+func (c *chunkCache) lookup(key cacheKey, count bool) ([]chunk.Sample, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		if count {
+			c.misses++
+		}
+		return nil, false
+	}
+	if count {
+		c.hits++
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).samples, true
+}
+
+func (c *chunkCache) admit(key cacheKey, samples []chunk.Sample) {
+	var bytes int64
+	for _, s := range samples {
+		bytes += int64(len(s.Data))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, samples: samples, bytes: bytes})
+	c.used += bytes
+	for c.used > c.budget && c.order.Len() > 1 {
+		back := c.order.Back()
+		ent := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, ent.key)
+		c.used -= ent.bytes
+	}
 }
 
 // stats reports cache hits and misses.
@@ -108,4 +123,12 @@ func (c *chunkCache) stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// coalescedCount reports how many gets piggybacked on another worker's
+// in-flight fetch instead of reading the chunk themselves.
+func (c *chunkCache) coalescedCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
 }

@@ -1,0 +1,155 @@
+package dataloader
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/view"
+)
+
+// epochRows streams one epoch and returns the first element of "x" per row,
+// in delivery order.
+func epochRows(t *testing.T, l *Loader) []float64 {
+	t.Helper()
+	var rows []float64
+	for _, b := range drain(t, l) {
+		for _, s := range b.Samples {
+			v, _ := s["x"].At(0)
+			rows = append(rows, v)
+		}
+	}
+	return rows
+}
+
+// TestBatchesIdenticalAcrossWorkerCounts is the determinism contract of the
+// concurrent read path: worker parallelism, readahead, and fetch coalescing
+// must not change what the consumer sees. Run under -race this also shakes
+// out data races between workers, the readahead scheduler, and the cache.
+func TestBatchesIdenticalAcrossWorkerCounts(t *testing.T) {
+	ds := loaderDataset(t, storage.NewMemory(), 300)
+	for _, shuffle := range []bool{false, true} {
+		run := func(workers int) []float64 {
+			l := ForDataset(ds, Options{
+				BatchSize: 16, Workers: workers,
+				Shuffle: shuffle, Seed: 11, ShuffleBuffer: 64,
+			})
+			return epochRows(t, l)
+		}
+		one := run(1)
+		sixteen := run(16)
+		if len(one) != 300 {
+			t.Fatalf("shuffle=%v: delivered %d rows", shuffle, len(one))
+		}
+		if !reflect.DeepEqual(one, sixteen) {
+			t.Fatalf("shuffle=%v: batches differ between 1 and 16 workers", shuffle)
+		}
+	}
+}
+
+// TestReadaheadDoesNotDuplicateFetches: with the scheduler racing the
+// workers for every chunk, singleflight must keep origin traffic at one Get
+// per chunk.
+func TestReadaheadDoesNotDuplicateFetches(t *testing.T) {
+	inner := storage.NewMemory()
+	counting := storage.NewCounting(inner)
+	ds := loaderDataset(t, counting, 256)
+
+	counting.Gets = 0
+	l := ForDataset(ds, Options{BatchSize: 16, Workers: 8, Readahead: 8})
+	drain(t, l)
+	chunks := int64(ds.Tensor("x").NumChunks() + ds.Tensor("label").NumChunks())
+	if counting.Gets > chunks {
+		t.Fatalf("epoch fetched %d objects for %d chunks; readahead duplicated fetches", counting.Gets, chunks)
+	}
+}
+
+func TestReadaheadDisabled(t *testing.T) {
+	ds := loaderDataset(t, storage.NewMemory(), 64)
+	l := ForDataset(ds, Options{BatchSize: 8, Workers: 4, Readahead: -1})
+	rows := epochRows(t, l)
+	if len(rows) != 64 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, v := range rows {
+		if v != float64(i) {
+			t.Fatalf("row %d = %v", i, v)
+		}
+	}
+}
+
+// TestReadaheadWarmsCache: a single slow worker should find chunks already
+// resident because the scheduler ran ahead of it.
+func TestReadaheadWarmsCache(t *testing.T) {
+	ds := loaderDataset(t, storage.NewMemory(), 256)
+	l := ForDataset(ds, Options{BatchSize: 16, Workers: 1, Readahead: 16})
+	drain(t, l)
+	hits, _ := l.CacheStats()
+	if hits == 0 {
+		t.Fatal("no cache hits despite readahead warming the cache")
+	}
+}
+
+// TestPrefetchPlanCoversOrder checks the itinerary invariants the scheduler
+// relies on: one ordinal per sampler position, ordinals are first-visit
+// ordered, and every distinct chunk appears exactly once.
+func TestPrefetchPlanCoversOrder(t *testing.T) {
+	ds := loaderDataset(t, storage.NewMemory(), 128)
+	v := view.All(ds)
+	cols := v.Columns()
+	for _, shuffle := range []bool{false, true} {
+		s := newSampler(v, shuffle, 32, 3, primaryColumn(cols))
+		plan := buildPrefetchPlan(v, cols, s.order)
+		if plan == nil {
+			t.Fatal("plan is nil for a stored primary tensor")
+		}
+		if len(plan.rowOrd) != len(s.order) {
+			t.Fatalf("rowOrd len = %d, want %d", len(plan.rowOrd), len(s.order))
+		}
+		seen := map[uint64]bool{}
+		for _, id := range plan.chunks {
+			if seen[id] {
+				t.Fatalf("chunk %d appears twice in plan", id)
+			}
+			seen[id] = true
+		}
+		maxSoFar := -1
+		for seq, ord := range plan.rowOrd {
+			if ord < 0 || ord >= len(plan.chunks) {
+				t.Fatalf("seq %d ordinal %d out of range", seq, ord)
+			}
+			if ord > maxSoFar+1 {
+				t.Fatalf("seq %d jumps to ordinal %d past frontier %d (not first-visit ordered)", seq, ord, maxSoFar)
+			}
+			if ord > maxSoFar {
+				maxSoFar = ord
+			}
+		}
+		if maxSoFar != len(plan.chunks)-1 {
+			t.Fatalf("order visits %d ordinals, plan has %d chunks", maxSoFar+1, len(plan.chunks))
+		}
+	}
+}
+
+// TestPrefetchPlanNilForComputedViews: a view with only computed columns has
+// no chunk itinerary and readahead must stand down.
+func TestPrefetchPlanNilForComputedViews(t *testing.T) {
+	ds := loaderDataset(t, storage.NewMemory(), 16)
+	v := view.New(ds, []uint64{0, 1, 2, 3}, []view.Column{
+		{Name: "c", Eval: func(ctx context.Context, row uint64) (*tensor.NDArray, error) {
+			return tensor.Scalar(tensor.Float64, float64(row)), nil
+		}},
+	})
+	cols := v.Columns()
+	s := newSampler(v, false, 0, 0, primaryColumn(cols))
+	if plan := buildPrefetchPlan(v, cols, s.order); plan != nil {
+		t.Fatalf("plan = %+v, want nil", plan)
+	}
+	// The loader still streams fine without a plan.
+	l := New(v, Options{BatchSize: 2, Workers: 2})
+	if got := len(drain(t, l)); got != 2 {
+		t.Fatalf("batches = %d", got)
+	}
+}

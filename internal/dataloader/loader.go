@@ -5,12 +5,16 @@
 //
 // The pipeline is:
 //
+//	sampler -> readahead scheduler ┐
 //	sampler -> fetch+decode+transform workers -> reorder -> collate -> Batches()
 //
 // Chunks are fetched once into a byte-budgeted buffer cache regardless of
-// how many samples or workers need them; media decoding runs inside the
-// worker pool (the Go analogue of the paper's per-process C++ decode that
-// avoids the Python GIL).
+// how many samples or workers need them — concurrent fetches of the same
+// chunk are coalesced through a singleflight layer — and a readahead
+// scheduler walks the sampler's visit order a few chunks ahead of the
+// workers so fetch latency overlaps with decode. Media decoding runs inside
+// the worker pool (the Go analogue of the paper's per-process C++ decode
+// that avoids the Python GIL).
 package dataloader
 
 import (
@@ -55,6 +59,11 @@ type Options struct {
 	// MemoryBudget caps the chunk buffer cache in bytes (default 256MB).
 	// This is the loader's "efficient resource allocation" bound (§4.6).
 	MemoryBudget int64
+	// Readahead is how many chunks the prefetch scheduler stays ahead of
+	// the workers along the sampler's visit order (default 4). Negative
+	// disables readahead. Prefetches coalesce with worker fetches through
+	// the chunk cache's singleflight layer, so no chunk is read twice.
+	Readahead int
 	// Decode controls media decoding of sample-compressed tensors.
 	// When false, raw stored bytes are exposed as 1-d uint8 arrays
 	// (useful for byte-throughput benchmarks). Default true.
@@ -76,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MemoryBudget <= 0 {
 		o.MemoryBudget = 256 << 20
+	}
+	if o.Readahead == 0 {
+		o.Readahead = 4
 	}
 	return o
 }
@@ -126,6 +138,10 @@ func (l *Loader) Rows() int64 { return atomic.LoadInt64(&l.rows) }
 
 // CacheStats reports chunk buffer cache hits and misses.
 func (l *Loader) CacheStats() (hits, misses int64) { return l.cache.stats() }
+
+// CacheCoalesced reports how many chunk fetches were absorbed into another
+// in-flight fetch of the same chunk (workers or the readahead scheduler).
+func (l *Loader) CacheCoalesced() int64 { return l.cache.coalescedCount() }
 
 // columns resolves the output column subset.
 func (l *Loader) columns() ([]view.Column, error) {
@@ -190,6 +206,22 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 	jobs := make(chan job, l.opts.Workers*2)
 	results := make(chan result, l.opts.Workers*2)
 
+	// Readahead scheduler: prefetch upcoming chunks into the chunk cache,
+	// staying at most Readahead chunks ahead of the workers.
+	var prog *raProgress
+	var plan *prefetchPlan
+	if l.opts.Readahead > 0 {
+		plan = buildPrefetchPlan(l.v, cols, s.order)
+	}
+	if plan != nil {
+		prog = newRAProgress()
+		go func() {
+			<-ctx.Done()
+			prog.stop()
+		}()
+		go runReadahead(ctx, l.cache, plan, prog, l.opts.Readahead)
+	}
+
 	// Job feeder.
 	go func() {
 		defer close(jobs)
@@ -209,6 +241,9 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if prog != nil {
+					prog.advance(plan.rowOrd[j.seq])
+				}
 				sample, err := l.loadSample(ctx, cols, j.row)
 				select {
 				case results <- result{seq: j.seq, sample: sample, err: err}:

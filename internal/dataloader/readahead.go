@@ -1,0 +1,134 @@
+package dataloader
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/view"
+)
+
+// The readahead scheduler (§4.6 "fetches the next batch in advance") walks
+// the sampler's visit order ahead of the worker pool and pulls upcoming
+// chunks into the chunk cache, so by the time a worker reaches a row its
+// chunk is usually resident. It stays at most K distinct chunks ahead of the
+// chunk the workers are currently on, bounding memory the same way the
+// cache's byte budget does, and its fetches coalesce with worker fetches
+// through the cache's singleflight layer — the chunk is still read only once.
+
+// prefetchPlan is the chunk itinerary derived from the sampler: the distinct
+// chunk IDs of the primary stored tensor in first-visit order, and each
+// sampler position's ordinal into that sequence.
+type prefetchPlan struct {
+	t      *core.Tensor
+	chunks []uint64
+	rowOrd []int
+}
+
+// buildPrefetchPlan resolves the sampler order to a chunk itinerary. It
+// returns nil when no column drives chunked reads (computed-only views,
+// sequence/link primaries), in which case readahead is a no-op.
+func buildPrefetchPlan(v *view.View, cols []view.Column, order []int) *prefetchPlan {
+	name := primaryColumn(cols)
+	if name == "" {
+		return nil
+	}
+	t := v.Dataset().Tensor(name)
+	if t == nil || t.Htype().Sequence || t.Htype().Link {
+		return nil
+	}
+	plan := &prefetchPlan{t: t, rowOrd: make([]int, len(order))}
+	seen := map[uint64]int{}
+	last := 0
+	for seq, row := range order {
+		ord := last
+		if src, err := v.SourceRow(row); err == nil {
+			if id, _, err := t.ChunkOf(src); err == nil {
+				o, ok := seen[id]
+				if !ok {
+					o = len(plan.chunks)
+					seen[id] = o
+					plan.chunks = append(plan.chunks, id)
+				}
+				ord = o
+			}
+		}
+		plan.rowOrd[seq] = ord
+		last = ord
+	}
+	if len(plan.chunks) == 0 {
+		return nil
+	}
+	return plan
+}
+
+// raProgress tracks the highest chunk ordinal the workers have started on;
+// the scheduler blocks on it to stay within its lookahead window.
+type raProgress struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	frontier int
+	closed   bool
+}
+
+func newRAProgress() *raProgress {
+	p := &raProgress{frontier: -1}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// advance records that a worker has started a row of the given chunk
+// ordinal.
+func (p *raProgress) advance(ord int) {
+	p.mu.Lock()
+	if ord > p.frontier {
+		p.frontier = ord
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// waitUntil blocks until the worker frontier reaches ord (or the epoch
+// ends); it reports false when the epoch ended first.
+func (p *raProgress) waitUntil(ord int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.frontier < ord && !p.closed {
+		p.cond.Wait()
+	}
+	return !p.closed
+}
+
+// current returns the worker frontier.
+func (p *raProgress) current() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.frontier
+}
+
+// stop releases any waiting scheduler; called when the pipeline shuts down.
+func (p *raProgress) stop() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// runReadahead prefetches chunk ord once the workers are within k chunks of
+// it. Fetch errors are ignored here: the worker that needs the chunk will
+// hit the same error on its own read path and report it with row context.
+func runReadahead(ctx context.Context, cache *chunkCache, plan *prefetchPlan, prog *raProgress, k int) {
+	for ord, id := range plan.chunks {
+		if !prog.waitUntil(ord-k) || ctx.Err() != nil {
+			return
+		}
+		// Workers already started (or passed) this chunk: they fetched it
+		// themselves, and under budget pressure it may even have been
+		// consumed and evicted — refetching would waste origin bandwidth
+		// and evict entries workers still hold hot.
+		if ord <= prog.current() {
+			continue
+		}
+		_, _ = cache.get(ctx, plan.t, id)
+	}
+}

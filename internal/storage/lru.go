@@ -4,7 +4,31 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 )
+
+// DefaultShards is the maximum shard count NewLRU chooses. Sixteen
+// mutex-striped shards keep lock hold times short enough that dozens of
+// dataloader workers probe the cache without serializing behind one another.
+const DefaultShards = 16
+
+// minShardBytes floors the automatic per-shard capacity at two of the
+// paper's ~8MB target chunks (§3.4), so sharding a modest cache never
+// silently un-caches the very objects the chain exists to hold.
+const minShardBytes = 16 << 20
+
+// defaultShardCount scales the shard count to capacity: one shard per
+// minShardBytes, at most DefaultShards, at least one.
+func defaultShardCount(capacity int64) int {
+	n := int(capacity / minShardBytes)
+	if n > DefaultShards {
+		n = DefaultShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // LRU chains a fast cache in front of a slower origin provider (§3.6: "LRU
 // cache of remote S3 storage with local in-memory data"). Whole objects are
@@ -12,8 +36,20 @@ import (
 // range request against the origin without promoting the full object, so
 // streaming sub-chunk access never inflates the cache with 8MB chunks the
 // training loop only needed a slice of.
+//
+// The cache is built for the many-reader regime: entries are spread over
+// mutex-striped shards keyed by a hash of the object key, and a singleflight
+// layer coalesces concurrent misses so any number of workers missing on the
+// same object trigger exactly one origin Get.
 type LRU struct {
-	origin   Provider
+	origin Provider
+	shards []*lruShard
+	flight Flight[[]byte]
+
+	coalesced atomic.Int64
+}
+
+type lruShard struct {
 	capacity int64
 
 	mu    sync.Mutex
@@ -29,88 +65,184 @@ type lruEntry struct {
 	data []byte
 }
 
-// NewLRU wraps origin with an in-memory LRU cache of the given byte
-// capacity.
+// NewLRU wraps origin with an in-memory cache of the given byte capacity.
+// The shard count scales with capacity (one shard per 16MB, at most
+// DefaultShards), so per-shard capacity always fits full-size chunks.
 func NewLRU(origin Provider, capacity int64) *LRU {
-	return &LRU{
-		origin:   origin,
-		capacity: capacity,
-		order:    list.New(),
-		items:    make(map[string]*list.Element),
+	return NewShardedLRU(origin, capacity, defaultShardCount(capacity))
+}
+
+// NewShardedLRU wraps origin with an in-memory cache of the given byte
+// capacity split evenly across the given number of mutex-striped shards. A
+// single shard
+// gives globally exact LRU ordering (useful for deterministic tests); more
+// shards trade eviction precision for lookup concurrency. Note that an
+// object larger than one shard's budget (capacity/shards) bypasses the
+// cache entirely — callers choosing an explicit shard count are expected to
+// size shards for their objects, or use NewLRU which does so automatically.
+func NewShardedLRU(origin Provider, capacity int64, shards int) *LRU {
+	if shards < 1 {
+		shards = 1
 	}
+	l := &LRU{origin: origin, shards: make([]*lruShard, shards)}
+	per := capacity / int64(shards)
+	for i := range l.shards {
+		l.shards[i] = &lruShard{
+			capacity: per,
+			order:    list.New(),
+			items:    make(map[string]*list.Element),
+		}
+	}
+	return l
 }
 
 // Origin returns the wrapped provider.
 func (l *LRU) Origin() Provider { return l.origin }
 
-// Stats reports cache hits, misses, and resident bytes.
-func (l *LRU) Stats() (hits, misses, usedBytes int64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.hits, l.misses, l.used
+// NumShards returns the shard count.
+func (l *LRU) NumShards() int { return len(l.shards) }
+
+// shard maps a key to its shard by FNV-1a hash.
+func (l *LRU) shard(key string) *lruShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return l.shards[h%uint64(len(l.shards))]
 }
 
-func (l *LRU) lookup(key string) ([]byte, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	el, ok := l.items[key]
+// ShardStats reports one shard's counters.
+type ShardStats struct {
+	// Hits and Misses count lookups resolved from / past this shard.
+	Hits, Misses int64
+	// UsedBytes is the shard's resident payload size.
+	UsedBytes int64
+	// Entries is the number of cached objects in the shard.
+	Entries int
+}
+
+// Stats aggregates cache counters: totals across shards plus the per-shard
+// breakdown, and the number of origin fetches avoided by read coalescing.
+type Stats struct {
+	// Hits and Misses are summed over all shards.
+	Hits, Misses int64
+	// Coalesced counts Gets that piggybacked on another caller's in-flight
+	// origin fetch instead of issuing their own.
+	Coalesced int64
+	// UsedBytes is the total resident payload size.
+	UsedBytes int64
+	// Shards is the per-shard breakdown, indexed by shard number.
+	Shards []ShardStats
+}
+
+// Stats reports cache counters across all shards.
+func (l *LRU) Stats() Stats {
+	s := Stats{Coalesced: l.coalesced.Load(), Shards: make([]ShardStats, len(l.shards))}
+	for i, sh := range l.shards {
+		sh.mu.Lock()
+		ss := ShardStats{Hits: sh.hits, Misses: sh.misses, UsedBytes: sh.used, Entries: len(sh.items)}
+		sh.mu.Unlock()
+		s.Shards[i] = ss
+		s.Hits += ss.Hits
+		s.Misses += ss.Misses
+		s.UsedBytes += ss.UsedBytes
+	}
+	return s
+}
+
+func (s *lruShard) lookup(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
-		l.misses++
+		s.misses++
 		return nil, false
 	}
-	l.hits++
-	l.order.MoveToFront(el)
+	s.hits++
+	s.order.MoveToFront(el)
 	return el.Value.(*lruEntry).data, true
 }
 
-func (l *LRU) admit(key string, data []byte) {
-	if int64(len(data)) > l.capacity {
-		return // object larger than the whole cache
+// peek is lookup without touching the hit/miss counters; the singleflight
+// leader uses it to re-check the shard after winning leadership, so a miss
+// that raced with another caller's admit does not refetch from the origin.
+func (s *lruShard) peek(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if el, ok := l.items[key]; ok {
-		l.used += int64(len(data)) - int64(len(el.Value.(*lruEntry).data))
+	s.order.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (s *lruShard) admit(key string, data []byte) {
+	if int64(len(data)) > s.capacity {
+		return // object larger than the whole shard
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.used += int64(len(data)) - int64(len(el.Value.(*lruEntry).data))
 		el.Value.(*lruEntry).data = data
-		l.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 	} else {
-		l.items[key] = l.order.PushFront(&lruEntry{key: key, data: data})
-		l.used += int64(len(data))
+		s.items[key] = s.order.PushFront(&lruEntry{key: key, data: data})
+		s.used += int64(len(data))
 	}
-	for l.used > l.capacity {
-		back := l.order.Back()
+	for s.used > s.capacity {
+		back := s.order.Back()
 		if back == nil {
 			break
 		}
 		ent := back.Value.(*lruEntry)
-		l.order.Remove(back)
-		delete(l.items, ent.key)
-		l.used -= int64(len(ent.data))
+		s.order.Remove(back)
+		delete(s.items, ent.key)
+		s.used -= int64(len(ent.data))
 	}
 }
 
-func (l *LRU) evict(key string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if el, ok := l.items[key]; ok {
-		l.order.Remove(el)
-		delete(l.items, key)
-		l.used -= int64(len(el.Value.(*lruEntry).data))
+func (s *lruShard) evict(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.order.Remove(el)
+		delete(s.items, key)
+		s.used -= int64(len(el.Value.(*lruEntry).data))
 	}
 }
 
-// Get implements Provider.
+// Get implements Provider. Concurrent misses on the same key are coalesced
+// into a single origin fetch.
 func (l *LRU) Get(ctx context.Context, key string) ([]byte, error) {
-	if data, ok := l.lookup(key); ok {
+	sh := l.shard(key)
+	if data, ok := sh.lookup(key); ok {
 		out := make([]byte, len(data))
 		copy(out, data)
 		return out, nil
 	}
-	data, err := l.origin.Get(ctx, key)
+	data, coalesced, err := l.flight.GetCoalesced(ctx, key,
+		func() ([]byte, bool) { return sh.peek(key) },
+		func() ([]byte, error) {
+			data, err := l.origin.Get(ctx, key)
+			if err != nil {
+				return nil, err
+			}
+			sh.admit(key, data)
+			return data, nil
+		})
+	if coalesced {
+		l.coalesced.Add(1)
+	}
 	if err != nil {
 		return nil, err
 	}
-	l.admit(key, data)
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out, nil
@@ -118,7 +250,7 @@ func (l *LRU) Get(ctx context.Context, key string) ([]byte, error) {
 
 // GetRange implements Provider.
 func (l *LRU) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
-	if data, ok := l.lookup(key); ok {
+	if data, ok := l.shard(key).lookup(key); ok {
 		lo, hi, ok := clampRange(int64(len(data)), offset, length)
 		if !ok {
 			return nil, rangeErr(key, offset, length, int64(len(data)))
@@ -138,19 +270,19 @@ func (l *LRU) Put(ctx context.Context, key string, data []byte) error {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	l.admit(key, cp)
+	l.shard(key).admit(key, cp)
 	return nil
 }
 
 // Delete implements Provider.
 func (l *LRU) Delete(ctx context.Context, key string) error {
-	l.evict(key)
+	l.shard(key).evict(key)
 	return l.origin.Delete(ctx, key)
 }
 
 // Exists implements Provider.
 func (l *LRU) Exists(ctx context.Context, key string) (bool, error) {
-	if _, ok := l.lookup(key); ok {
+	if _, ok := l.shard(key).lookup(key); ok {
 		return true, nil
 	}
 	return l.origin.Exists(ctx, key)
@@ -164,7 +296,7 @@ func (l *LRU) List(ctx context.Context, prefix string) ([]string, error) {
 
 // Size implements Provider.
 func (l *LRU) Size(ctx context.Context, key string) (int64, error) {
-	if data, ok := l.lookup(key); ok {
+	if data, ok := l.shard(key).lookup(key); ok {
 		return int64(len(data)), nil
 	}
 	return l.origin.Size(ctx, key)

@@ -141,7 +141,8 @@ func TestMemoryIsolation(t *testing.T) {
 func TestLRUHitsAndEviction(t *testing.T) {
 	ctx := context.Background()
 	origin := NewCounting(NewMemory())
-	cache := NewLRU(origin, 100)
+	// One shard: globally exact LRU ordering makes eviction deterministic.
+	cache := NewShardedLRU(origin, 100, 1)
 
 	if err := cache.Put(ctx, "a", make([]byte, 40)); err != nil {
 		t.Fatal(err)
@@ -173,12 +174,12 @@ func TestLRUHitsAndEviction(t *testing.T) {
 	if origin.Gets != 1 {
 		t.Fatalf("origin Gets = %d, want 1 (a was evicted)", origin.Gets)
 	}
-	hits, misses, used := cache.Stats()
-	if hits == 0 || misses == 0 {
-		t.Fatalf("stats hits=%d misses=%d, want both > 0", hits, misses)
+	stats := cache.Stats()
+	if stats.Hits == 0 || stats.Misses == 0 {
+		t.Fatalf("stats hits=%d misses=%d, want both > 0", stats.Hits, stats.Misses)
 	}
-	if used > 100 {
-		t.Fatalf("resident bytes %d exceed capacity", used)
+	if stats.UsedBytes > 100 {
+		t.Fatalf("resident bytes %d exceed capacity", stats.UsedBytes)
 	}
 }
 
@@ -189,8 +190,7 @@ func TestLRUOversizeObjectBypassesCache(t *testing.T) {
 	if err := cache.Put(ctx, "big", make([]byte, 100)); err != nil {
 		t.Fatal(err)
 	}
-	_, _, used := cache.Stats()
-	if used != 0 {
+	if used := cache.Stats().UsedBytes; used != 0 {
 		t.Fatalf("oversize object cached: used = %d", used)
 	}
 	if _, err := cache.Get(ctx, "big"); err != nil {
@@ -211,8 +211,7 @@ func TestLRURangeReadDoesNotPromote(t *testing.T) {
 	if _, err := cache.GetRange(ctx, "chunk", 10, 10); err != nil {
 		t.Fatal(err)
 	}
-	_, _, used := cache.Stats()
-	if used != 0 {
+	if used := cache.Stats().UsedBytes; used != 0 {
 		t.Fatalf("range read promoted object into cache: used = %d", used)
 	}
 }

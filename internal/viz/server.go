@@ -20,14 +20,32 @@ type Server struct {
 }
 
 // NewServer builds the HTTP API for one dataset.
+//
+// Routes are registered as plain paths with an explicit method guard rather
+// than Go 1.22 "GET /path" patterns: those patterns silently degrade to
+// literal path matches (404ing every route) when the build's httpmuxgo121
+// GODEBUG default flips, which is exactly the failure mode the seed shipped
+// with.
 func NewServer(ds *core.Dataset) *Server {
 	s := &Server{ds: ds, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /info", s.handleInfo)
-	s.mux.HandleFunc("GET /layout", s.handleLayout)
-	s.mux.HandleFunc("GET /sample", s.handleSample)
-	s.mux.HandleFunc("GET /render", s.handleRender)
-	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("/info", getOnly(s.handleInfo))
+	s.mux.HandleFunc("/layout", getOnly(s.handleLayout))
+	s.mux.HandleFunc("/sample", getOnly(s.handleSample))
+	s.mux.HandleFunc("/render", getOnly(s.handleRender))
+	s.mux.HandleFunc("/query", getOnly(s.handleQuery))
 	return s
+}
+
+// getOnly rejects non-GET methods before the handler runs.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.

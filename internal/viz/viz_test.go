@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"image/png"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
@@ -240,6 +241,23 @@ func TestServerErrorPaths(t *testing.T) {
 		if code < 400 {
 			t.Errorf("%s: status = %d, want error", path, code)
 		}
+	}
+}
+
+func TestServerRejectsNonGET(t *testing.T) {
+	ds := vizDataset(t)
+	srv := httptest.NewServer(NewServer(ds))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/info", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /info status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Fatalf("Allow header = %q, want \"GET, HEAD\"", allow)
 	}
 }
 
