@@ -99,3 +99,10 @@ func BenchmarkAblationSparseViews(b *testing.B) {
 func BenchmarkAblationCacheEpochs(b *testing.B) {
 	runFigure(b, benchConfig(128, 64), bench.AblationCacheEpochs)
 }
+
+// BenchmarkTQLScan measures the chunk-partitioned parallel TQL filter scan
+// and the shape-encoder pushdown's origin-request savings (§4.4 query
+// scheduler over the Tensor Storage Format).
+func BenchmarkTQLScan(b *testing.B) {
+	runFigure(b, benchConfig(96, 0), bench.TQLScan)
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchfig [-n N] [-workers W] [-side PX] [fig6|fig7|fig8|fig9|fig10|readers|ablations|all]
+//	benchfig [-n N] [-workers W] [-side PX] [fig6|fig7|fig8|fig9|fig10|readers|tql|ablations|all]
 package main
 
 import (
@@ -43,6 +43,7 @@ func main() {
 		{"fig9", 600, bench.Fig9ImageNetCloud},
 		{"fig10", 2048, bench.Fig10DistributedCLIP},
 		{"readers", 384, bench.ConcurrentReaders},
+		{"tql", 384, bench.TQLScan},
 	}
 	ablations := []runner{
 		{"ablation-chunksize", 400, bench.AblationChunkSize},

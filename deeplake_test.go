@@ -167,6 +167,36 @@ func TestLRUCacheChainServesSecondEpoch(t *testing.T) {
 	}
 }
 
+func TestQueryWithWorkersMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	ds := buildQuickstart(t, NewMemoryStore(), 60)
+	const q = `SELECT labels FROM it WHERE MEAN(images) >= 0 AND labels < 3 ORDER BY labels DESC`
+	serial, err := QueryWith(ctx, ds, q, QueryOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := QueryWith(ctx, ds, q, QueryOptions{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 || serial.Len() != parallel.Len() {
+		t.Fatalf("rows: serial %d vs parallel %d", serial.Len(), parallel.Len())
+	}
+	for i, idx := range serial.Indices() {
+		if parallel.Indices()[i] != idx {
+			t.Fatalf("row %d: serial %d vs parallel %d", i, idx, parallel.Indices()[i])
+		}
+	}
+	// DisablePushdown must not change results, only the IO strategy.
+	full, err := QueryWith(ctx, ds, `SELECT * FROM it WHERE SHAPE(images)[0] == 32`, QueryOptions{DisablePushdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 60 {
+		t.Fatalf("full scan rows = %d, want 60", full.Len())
+	}
+}
+
 func TestExplainPublicAPI(t *testing.T) {
 	plan, err := Explain(`SELECT images FROM x WHERE SHAPE(images)[0] > 100 LIMIT 5`)
 	if err != nil {

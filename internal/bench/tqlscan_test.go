@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestTQLScanScenario asserts the PR's acceptance criteria at test scale: a
+// shape-only WHERE reaches the origin zero times (shape-encoder pushdown),
+// the forced full scan does not, and the parallel filter scan beats the
+// serial baseline. The TQLScan runner itself fails when pushdown leaks IO
+// or when pushdown and full scan disagree on the result set.
+func TestTQLScanScenario(t *testing.T) {
+	res, err := TQLScan(context.Background(), Config{N: 96, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, ok := res.Value("pushdown-origin-requests")
+	if !ok {
+		t.Fatal("pushdown-origin-requests row missing")
+	}
+	if push != 0 {
+		t.Fatalf("shape-only WHERE made %.0f origin requests, want 0", push)
+	}
+	full, ok := res.Value("fullscan-origin-requests")
+	if !ok {
+		t.Fatal("fullscan-origin-requests row missing")
+	}
+	if full <= 0 {
+		t.Fatalf("full scan made %.0f origin requests, want > 0", full)
+	}
+	t1, ok1 := res.Value("filter-workers-1")
+	t16, ok16 := res.Value("filter-workers-16")
+	if !ok1 || !ok16 {
+		t.Fatalf("throughput rows missing: %+v", res.Rows)
+	}
+	if t1 <= 0 || t16 <= 0 {
+		t.Fatalf("non-positive throughput: %.1f/%.1f", t1, t16)
+	}
+	if t16 <= t1 {
+		t.Fatalf("16-worker scan %.1f rows/s should exceed serial %.1f rows/s", t16, t1)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/tensor"
+)
+
+// ChunkSpan is one chunk's contiguous range of sample indices, [First, Last]
+// inclusive. The TQL scan engine partitions a query's row space along these
+// boundaries so concurrent workers touch disjoint chunk sets.
+type ChunkSpan struct {
+	First, Last uint64
+	ChunkID     uint64
+}
+
+// ChunkSpans returns the tensor's chunk-aligned partition of its sample
+// range, in index order. An empty tensor returns no spans.
+func (t *Tensor) ChunkSpans() []ChunkSpan {
+	t.ds.mu.RLock()
+	defer t.ds.mu.RUnlock()
+	n := t.chunkEnc.NumChunks()
+	out := make([]ChunkSpan, 0, n)
+	for r := 0; r < n; r++ {
+		first, last, id, err := t.chunkEnc.ChunkRange(r)
+		if err != nil {
+			break
+		}
+		out = append(out, ChunkSpan{First: first, Last: last, ChunkID: id})
+	}
+	return out
+}
+
+// ScanReader reads samples of one tensor with chunk-granular reuse: walking
+// rows in ascending order fetches and decodes each chunk once instead of
+// once per sample. The fetch itself goes through the provider chain, so
+// concurrent readers pulling the same chunk still coalesce into one origin
+// Get. A ScanReader is NOT safe for concurrent use; each scan worker owns
+// one per tensor.
+type ScanReader struct {
+	t       *Tensor
+	valid   bool
+	chunkID uint64
+	samples []chunk.Sample
+}
+
+// NewScanReader returns a reader with an empty chunk slot.
+func (t *Tensor) NewScanReader() *ScanReader { return &ScanReader{t: t} }
+
+// At returns sample idx like Tensor.At, but keeps the decoded chunk of the
+// previous call so sequential reads within one chunk pay a single
+// fetch+decode. Sequence, tiled and write-buffered samples fall back to the
+// direct per-sample path.
+func (r *ScanReader) At(ctx context.Context, idx uint64) (*tensor.NDArray, error) {
+	t := r.t
+	t.ds.mu.RLock()
+	defer t.ds.mu.RUnlock()
+	if t.spec.Sequence {
+		return t.atLocked(ctx, idx)
+	}
+	if _, tiled := t.tileEnc.Get(idx); tiled {
+		return t.atLocked(ctx, idx)
+	}
+	chunkID, local, err := t.chunkEnc.Lookup(idx)
+	if err != nil {
+		return nil, err
+	}
+	if t.builder.Len() > 0 && chunkID == t.pendingID {
+		return t.atLocked(ctx, idx)
+	}
+	if !r.valid || r.chunkID != chunkID {
+		raw, err := t.readChunk(ctx, chunkID)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := chunk.Decode(raw)
+		if err != nil {
+			return nil, err
+		}
+		r.chunkID, r.samples, r.valid = chunkID, samples, true
+	}
+	if local >= len(r.samples) {
+		return nil, fmt.Errorf("core: sample %d beyond chunk %d (%d samples)", local, r.chunkID, len(r.samples))
+	}
+	return t.decodeSample(r.samples[local])
+}

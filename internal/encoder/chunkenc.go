@@ -23,6 +23,10 @@ import (
 // sample stored in chunkID.
 type ChunkEncoder struct {
 	rows []chunkRow
+	// seen indexes registered chunk ids so Append's duplicate check is
+	// O(1); the previous full-row scan made N-chunk ingestion O(N²).
+	// Lazily rebuilt from rows when nil (zero-value encoders).
+	seen map[uint64]struct{}
 }
 
 type chunkRow struct {
@@ -31,7 +35,21 @@ type chunkRow struct {
 }
 
 // NewChunkEncoder returns an empty encoder.
-func NewChunkEncoder() *ChunkEncoder { return &ChunkEncoder{} }
+func NewChunkEncoder() *ChunkEncoder {
+	return &ChunkEncoder{seen: map[uint64]struct{}{}}
+}
+
+// ensureSeen (re)builds the chunk-id index when the encoder was created as
+// a zero value or restored without one.
+func (e *ChunkEncoder) ensureSeen() {
+	if e.seen != nil {
+		return
+	}
+	e.seen = make(map[uint64]struct{}, len(e.rows))
+	for _, r := range e.rows {
+		e.seen[r.chunkID] = struct{}{}
+	}
+}
 
 // NumSamples returns the total number of indexed samples.
 func (e *ChunkEncoder) NumSamples() uint64 {
@@ -59,16 +77,16 @@ func (e *ChunkEncoder) Append(chunkID uint64, count int) error {
 		e.rows[n-1].lastIndex += uint64(count)
 		return nil
 	}
+	e.ensureSeen()
 	last := uint64(count) - 1
 	if n := len(e.rows); n > 0 {
-		for _, r := range e.rows {
-			if r.chunkID == chunkID {
-				return fmt.Errorf("encoder: chunk %d already registered and closed", chunkID)
-			}
+		if _, dup := e.seen[chunkID]; dup {
+			return fmt.Errorf("encoder: chunk %d already registered and closed", chunkID)
 		}
 		last = e.rows[n-1].lastIndex + uint64(count)
 	}
 	e.rows = append(e.rows, chunkRow{lastIndex: last, chunkID: chunkID})
+	e.seen[chunkID] = struct{}{}
 	return nil
 }
 
@@ -123,6 +141,8 @@ func (e *ChunkEncoder) ReplaceAll(chunkIDs []uint64, counts []int) error {
 		rows = append(rows, chunkRow{lastIndex: last - 1, chunkID: chunkIDs[i]})
 	}
 	e.rows = rows
+	e.seen = nil
+	e.ensureSeen()
 	return nil
 }
 
@@ -161,5 +181,7 @@ func (e *ChunkEncoder) UnmarshalBinary(data []byte) error {
 		}
 	}
 	e.rows = rows
+	e.seen = nil
+	e.ensureSeen()
 	return nil
 }

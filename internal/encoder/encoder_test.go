@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/chunk"
 )
@@ -344,5 +345,72 @@ func TestShapeEncoderMatchesFlat(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestChunkEncoderDuplicateDetectionAfterRestore(t *testing.T) {
+	// The O(1) duplicate index must survive every path that replaces the
+	// row set: ReplaceAll, UnmarshalBinary, and zero-value encoders.
+	e := NewChunkEncoder()
+	for id := uint64(0); id < 5; id++ {
+		if err := e.Append(id, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Append(2, 1); err == nil {
+		t.Fatal("re-opening a closed chunk should fail")
+	}
+
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChunkEncoder
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Append(3, 1); err == nil {
+		t.Fatal("restored encoder should still reject duplicate chunk ids")
+	}
+	if err := back.Append(4, 2); err != nil {
+		t.Fatalf("extending the most recent chunk: %v", err)
+	}
+	if err := back.Append(99, 2); err != nil {
+		t.Fatalf("appending a fresh chunk: %v", err)
+	}
+
+	if err := back.ReplaceAll([]uint64{7, 8}, []int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Append(7, 1); err == nil {
+		t.Fatal("ReplaceAll ids should be registered as closed")
+	}
+
+	var zero ChunkEncoder
+	if err := zero.Append(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := zero.Append(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := zero.Append(1, 2); err == nil {
+		t.Fatal("zero-value encoder should reject duplicates too")
+	}
+}
+
+func TestChunkEncoderAppendScales(t *testing.T) {
+	// 50k distinct chunks; quadratic appends would take minutes here.
+	e := NewChunkEncoder()
+	start := time.Now()
+	for id := uint64(0); id < 50000; id++ {
+		if err := e.Append(id, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.NumChunks() != 50000 || e.NumSamples() != 100000 {
+		t.Fatalf("chunks=%d samples=%d", e.NumChunks(), e.NumSamples())
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("50k appends took %s; append is not O(1)", elapsed)
 	}
 }

@@ -164,12 +164,14 @@ func evalCall(e *env, c Call) (Value, error) {
 }
 
 // callShape resolves the shape of the single argument, through the shape
-// encoder when the argument is a bare tensor reference (no chunk IO).
+// encoder when the argument is a bare tensor reference (no chunk IO). An
+// env with rawShapes set skips the encoder and measures the decoded sample
+// instead, so tests and benchmarks can cross-check the pushdown.
 func callShape(e *env, c Call) ([]int, error) {
 	if len(c.Args) != 1 {
 		return nil, fmt.Errorf("tql: %s takes 1 argument", c.Name)
 	}
-	if id, ok := c.Args[0].(Ident); ok {
+	if id, ok := c.Args[0].(Ident); ok && !e.rawShapes {
 		return e.shapeOf(string(id))
 	}
 	v, err := evalExpr(e, c.Args[0])

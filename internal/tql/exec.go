@@ -34,16 +34,21 @@ func Compile(q *Query) (*Plan, error) {
 		src = "<bound dataset>"
 	}
 	if q.Version != "" {
-		p.stages = append(p.stages, fmt.Sprintf("scan %s @ version %s", src, q.Version))
+		p.stages = append(p.stages, fmt.Sprintf("scan %s @ version %s [chunk-partitioned]", src, q.Version))
 	} else {
-		p.stages = append(p.stages, "scan "+src)
+		p.stages = append(p.stages, "scan "+src+" [chunk-partitioned]")
 	}
 	if q.Where != nil {
-		pushdown := ""
-		if shapeOnly(q.Where) {
-			pushdown = " [shape-encoder pushdown: no chunk IO]"
+		shapeConj, dataConj := splitConjuncts(q.Where)
+		switch {
+		case len(dataConj) == 0:
+			p.stages = append(p.stages, "filter "+q.Where.String()+" [shape-encoder pushdown: no chunk IO]")
+		case len(shapeConj) > 0:
+			p.stages = append(p.stages, "prefilter "+andAll(shapeConj).String()+" [shape-encoder pushdown: no chunk IO]")
+			p.stages = append(p.stages, "filter "+andAll(dataConj).String()+" [parallel chunk scan]")
+		default:
+			p.stages = append(p.stages, "filter "+q.Where.String()+" [parallel chunk scan]")
 		}
-		p.stages = append(p.stages, "filter "+q.Where.String()+pushdown)
 	}
 	if q.OrderBy != nil {
 		dir := "asc"
@@ -111,7 +116,18 @@ func shapeOnly(x Expr) bool {
 			return false
 		}
 	case Index:
-		return shapeOnly(n.X)
+		if !shapeOnly(n.X) {
+			return false
+		}
+		// Subscripts are expressions too: SHAPE(x)[MEAN(y)] loads data.
+		for _, s := range n.Specs {
+			for _, e := range []Expr{s.Point, s.Lo, s.Hi} {
+				if e != nil && !shapeOnly(e) {
+					return false
+				}
+			}
+		}
+		return true
 	}
 	return false
 }
@@ -119,11 +135,16 @@ func shapeOnly(x Expr) bool {
 // Run parses, compiles and executes a query against a dataset, returning
 // the result as a view.
 func Run(ctx context.Context, ds *core.Dataset, src string) (*view.View, error) {
+	return RunWith(ctx, ds, src, Options{})
+}
+
+// RunWith is Run with explicit execution options.
+func RunWith(ctx context.Context, ds *core.Dataset, src string, opts Options) (*view.View, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(ctx, ds, q)
+	return ExecuteWith(ctx, ds, q, opts)
 }
 
 // knownFunctions is the builtin library (§4.4).
@@ -193,8 +214,18 @@ func validateQuery(q *Query) error {
 	return nil
 }
 
-// Execute runs a parsed query against a dataset.
+// Execute runs a parsed query against a dataset with default options.
 func Execute(ctx context.Context, ds *core.Dataset, q *Query) (*view.View, error) {
+	return ExecuteWith(ctx, ds, q, Options{})
+}
+
+// ExecuteWith runs a parsed query through the chunk-partitioned parallel
+// scan engine. WHERE's leading shape-only conjuncts become a shape-encoder
+// prefilter (zero chunk IO) with the remainder evaluated only over the
+// prefilter's survivors; both phases, and every key evaluation, fan out across
+// Options.Workers with chunk-aligned partitions and positional merges, so
+// results are byte-identical for any worker count.
+func ExecuteWith(ctx context.Context, ds *core.Dataset, q *Query, opts Options) (*view.View, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
@@ -205,37 +236,47 @@ func Execute(ctx context.Context, ds *core.Dataset, q *Query) (*view.View, error
 			return nil, err
 		}
 	}
+	sc := &scanner{ds: ds, workers: opts.workers(), rawShapes: opts.DisablePushdown}
 	n := ds.NumRows()
-	rows := make([]uint64, 0, n)
-	// Filter.
-	for i := uint64(0); i < n; i++ {
-		if q.Where != nil {
-			v, err := evalExpr(newEnv(ctx, ds, i), q.Where)
-			if err != nil {
-				return nil, fmt.Errorf("tql: WHERE at row %d: %w", i, err)
-			}
-			if !v.IsTruthy() {
-				continue
+	rows := make([]uint64, n)
+	for i := range rows {
+		rows[i] = uint64(i)
+	}
+	// Filter: leading shape-only conjuncts first (shape-encoder pushdown,
+	// no chunk IO), then the remainder over the surviving rows.
+	if q.Where != nil {
+		shapeConj, dataConj := splitConjuncts(q.Where)
+		if opts.DisablePushdown {
+			shapeConj, dataConj = nil, []Expr{q.Where}
+		}
+		var err error
+		if pre := andAll(shapeConj); pre != nil {
+			if rows, err = sc.filter(ctx, rows, pre); err != nil {
+				return nil, err
 			}
 		}
-		rows = append(rows, i)
+		if rest := andAll(dataConj); rest != nil {
+			if rows, err = sc.filter(ctx, rows, rest); err != nil {
+				return nil, err
+			}
+		}
 	}
 	// Order.
 	if q.OrderBy != nil {
-		if err := sortRows(ctx, ds, rows, q.OrderBy, q.OrderDesc); err != nil {
+		if err := sortRows(ctx, sc, rows, q.OrderBy, q.OrderDesc); err != nil {
 			return nil, err
 		}
 	}
 	// Group (stable, so ORDER BY survives within groups).
 	if q.GroupBy != nil {
-		if err := sortRows(ctx, ds, rows, q.GroupBy, false); err != nil {
+		if err := sortRows(ctx, sc, rows, q.GroupBy, false); err != nil {
 			return nil, err
 		}
 	}
 	// Arrange: round-robin interleave across key groups.
 	if q.ArrangeBy != nil {
 		var err error
-		rows, err = arrangeRows(ctx, ds, rows, q.ArrangeBy)
+		rows, err = arrangeRows(ctx, sc, rows, q.ArrangeBy)
 		if err != nil {
 			return nil, err
 		}
@@ -243,7 +284,7 @@ func Execute(ctx context.Context, ds *core.Dataset, q *Query) (*view.View, error
 	// Weighted sampling.
 	if q.SampleBy != nil {
 		var err error
-		rows, err = sampleRows(ctx, ds, rows, q)
+		rows, err = sampleRows(ctx, sc, rows, q)
 		if err != nil {
 			return nil, err
 		}
@@ -267,64 +308,50 @@ func Execute(ctx context.Context, ds *core.Dataset, q *Query) (*view.View, error
 	return view.New(ds, rows, columns), nil
 }
 
-// rowKey evaluates a sort key for one row.
-func rowKey(ctx context.Context, ds *core.Dataset, row uint64, x Expr) (isStr bool, num float64, str string, err error) {
-	v, err := evalExpr(newEnv(ctx, ds, row), x)
+// sortRows stably sorts rows by key. Keys are batch-evaluated through the
+// parallel scanner into a slice parallel to rows (duplicate row indices get
+// their own entries), and comparisons index that slice through a
+// permutation — no per-comparison hashing.
+func sortRows(ctx context.Context, sc *scanner, rows []uint64, key Expr, desc bool) error {
+	keys, err := sc.keys(ctx, rows, key, "sort key")
 	if err != nil {
-		return false, 0, "", err
+		return err
 	}
-	return v.sortKey()
-}
-
-func sortRows(ctx context.Context, ds *core.Dataset, rows []uint64, key Expr, desc bool) error {
-	type keyed struct {
-		isStr bool
-		num   float64
-		str   string
+	ord := make([]int, len(rows))
+	for i := range ord {
+		ord[i] = i
 	}
-	keys := make(map[uint64]keyed, len(rows))
-	for _, r := range rows {
-		isStr, num, str, err := rowKey(ctx, ds, r, key)
-		if err != nil {
-			return fmt.Errorf("tql: sort key at row %d: %w", r, err)
-		}
-		keys[r] = keyed{isStr, num, str}
-	}
-	less := func(a, b keyed) bool {
-		if a.isStr != b.isStr {
-			return !a.isStr // numbers sort before strings
-		}
-		if a.isStr {
-			return a.str < b.str
-		}
-		return a.num < b.num
-	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		a, b := keys[rows[i]], keys[rows[j]]
+	sort.SliceStable(ord, func(i, j int) bool {
+		a, b := keys[ord[i]], keys[ord[j]]
 		if desc {
-			return less(b, a)
+			return b.less(a)
 		}
-		return less(a, b)
+		return a.less(b)
 	})
+	sorted := make([]uint64, len(rows))
+	for i, o := range ord {
+		sorted[i] = rows[o]
+	}
+	copy(rows, sorted)
 	return nil
 }
 
 // arrangeRows groups rows by key (first-appearance group order) and
 // interleaves the groups round-robin, producing a class-balanced stream.
-func arrangeRows(ctx context.Context, ds *core.Dataset, rows []uint64, key Expr) ([]uint64, error) {
+func arrangeRows(ctx context.Context, sc *scanner, rows []uint64, key Expr) ([]uint64, error) {
+	keys, err := sc.keys(ctx, rows, key, "arrange key")
+	if err != nil {
+		return nil, err
+	}
 	type group struct {
 		rows []uint64
 	}
 	order := []string{}
 	groups := map[string]*group{}
-	for _, r := range rows {
-		isStr, num, str, err := rowKey(ctx, ds, r, key)
-		if err != nil {
-			return nil, fmt.Errorf("tql: arrange key at row %d: %w", r, err)
-		}
-		k := str
-		if !isStr {
-			k = fmt.Sprintf("n:%g", num)
+	for pos, r := range rows {
+		k := keys[pos].str
+		if !keys[pos].isStr {
+			k = fmt.Sprintf("n:%g", keys[pos].num)
 		}
 		g, ok := groups[k]
 		if !ok {
@@ -355,29 +382,35 @@ func arrangeRows(ctx context.Context, ds *core.Dataset, rows []uint64, key Expr)
 
 // sampleRows draws a weighted sample without replacement using exponential
 // keys (Efraimidis-Spirakis), deterministic per query text so results are
-// reproducible across runs.
-func sampleRows(ctx context.Context, ds *core.Dataset, rows []uint64, q *Query) ([]uint64, error) {
+// reproducible across runs and worker counts: weights are batch-evaluated
+// in parallel, then the random keys are drawn in one serial pass.
+func sampleRows(ctx context.Context, sc *scanner, rows []uint64, q *Query) ([]uint64, error) {
+	weights := make([]float64, len(rows))
+	err := sc.eval(ctx, rows, q.SampleBy, "sample weight", func(pos int, _ uint64, v Value) error {
+		w, err := v.AsNumber()
+		if err != nil {
+			return err
+		}
+		weights[pos] = w
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	h := fnv.New64a()
 	h.Write([]byte(q.String()))
 	rng := rand.New(rand.NewSource(int64(h.Sum64())))
-	type keyed struct {
+	type keyedRow struct {
 		row uint64
 		key float64
 	}
-	keys := make([]keyed, 0, len(rows))
-	for _, r := range rows {
-		v, err := evalExpr(newEnv(ctx, ds, r), q.SampleBy)
-		if err != nil {
-			return nil, fmt.Errorf("tql: sample weight at row %d: %w", r, err)
-		}
-		w, err := v.AsNumber()
-		if err != nil {
-			return nil, err
-		}
+	keys := make([]keyedRow, 0, len(rows))
+	for pos, r := range rows {
+		w := weights[pos]
 		if w <= 0 {
 			continue
 		}
-		keys = append(keys, keyed{row: r, key: -math.Log(rng.Float64()) / w})
+		keys = append(keys, keyedRow{row: r, key: -math.Log(rng.Float64()) / w})
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].key < keys[j].key })
 	out := make([]uint64, len(keys))

@@ -5,6 +5,32 @@
 // directly against Tensor Storage Format datasets. Query results are views
 // (repro/internal/view) that stream to the dataloader or materialize to a
 // fresh dataset.
+//
+// # Execution model
+//
+// Queries run on a chunk-partitioned parallel scan engine (ExecuteWith,
+// Options.Workers). The row space is partitioned along the chunk
+// boundaries of the first tensor the filter references, partitions are
+// evaluated by a bounded worker pool — each worker reusing one environment
+// whose per-tensor ScanReaders fetch and decode every chunk it owns once —
+// and per-partition results merge positionally, so results are identical
+// at any worker count. A WHERE clause's leading run of shape-only
+// conjuncts is answered entirely from the shape encoder with zero chunk IO
+// (shape-encoder pushdown), with the remainder evaluated only over the
+// pushdown's surviving rows — in textual order, so AND short-circuit
+// guards keep protecting later conjuncts. Compile renders these stages; for
+//
+//	SELECT images FROM ds WHERE SHAPE(images)[0] > 100 AND MEAN(images) > 50
+//
+// Explain prints:
+//
+//	scan ds [chunk-partitioned]
+//	prefilter (SHAPE(images)[0] > 100) [shape-encoder pushdown: no chunk IO]
+//	filter (MEAN(images) > 50) [parallel chunk scan]
+//	project images
+//
+// while a fully shape-only WHERE compiles to a single
+// "filter ... [shape-encoder pushdown: no chunk IO]" stage.
 package tql
 
 import (

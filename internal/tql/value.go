@@ -110,10 +110,39 @@ type env struct {
 
 	mu    sync.Mutex
 	cache map[string]*tensor.NDArray
+
+	// readers, when non-nil, serve data loads through per-tensor
+	// ScanReaders so consecutive rows of one chunk fetch and decode it
+	// once. Scan workers own one env each and reposition it with reset;
+	// per-call envs (view columns) leave readers nil.
+	readers map[string]*core.ScanReader
+	// rawShapes resolves SHAPE/NDIM/LEN/SIZE from decoded sample data
+	// instead of the shape encoder (Options.DisablePushdown).
+	rawShapes bool
 }
 
 func newEnv(ctx context.Context, ds *core.Dataset, row uint64) *env {
 	return &env{ctx: ctx, ds: ds, row: row, cache: map[string]*tensor.NDArray{}}
+}
+
+// newScanEnv returns a reusable worker environment with chunk-granular read
+// reuse enabled; reset repositions it before each row.
+func newScanEnv(ctx context.Context, ds *core.Dataset) *env {
+	return &env{
+		ctx:     ctx,
+		ds:      ds,
+		cache:   map[string]*tensor.NDArray{},
+		readers: map[string]*core.ScanReader{},
+	}
+}
+
+// reset repositions the env on a row, keeping the tensor readers (and their
+// decoded chunks) while dropping the per-row value cache.
+func (e *env) reset(row uint64) {
+	e.mu.Lock()
+	e.row = row
+	clear(e.cache)
+	e.mu.Unlock()
 }
 
 // lookupTensor resolves name to the row's sample array.
@@ -138,6 +167,16 @@ func (e *env) lookupTensor(name string) (*tensor.NDArray, error) {
 			return nil, lerr
 		}
 		arr = tensor.FromString(url)
+	} else if e.readers != nil {
+		r := e.readers[name]
+		if r == nil {
+			r = t.NewScanReader()
+			e.readers[name] = r
+		}
+		arr, err = r.At(e.ctx, e.row)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		arr, err = t.At(e.ctx, e.row)
 		if err != nil {
