@@ -106,3 +106,11 @@ func BenchmarkAblationCacheEpochs(b *testing.B) {
 func BenchmarkTQLScan(b *testing.B) {
 	runFigure(b, benchConfig(96, 0), bench.TQLScan)
 }
+
+// BenchmarkIngestThroughput measures the parallel ingestion engine: 1/4/16
+// concurrent writers into one dataset over simulated S3, lock-split append
+// path plus the background chunk flush pipeline, against the TFRecord and
+// WebDataset write paths (§4.1.2 ingestion).
+func BenchmarkIngestThroughput(b *testing.B) {
+	runFigure(b, benchConfig(96, 0), bench.IngestThroughput)
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchfig [-n N] [-workers W] [-side PX] [fig6|fig7|fig8|fig9|fig10|readers|tql|ablations|all]
+//	benchfig [-n N] [-workers W] [-side PX] [fig6|fig7|fig8|fig9|fig10|readers|tql|ingest|ablations|all]
 package main
 
 import (
@@ -44,6 +44,7 @@ func main() {
 		{"fig10", 2048, bench.Fig10DistributedCLIP},
 		{"readers", 384, bench.ConcurrentReaders},
 		{"tql", 384, bench.TQLScan},
+		{"ingest", 384, bench.IngestThroughput},
 	}
 	ablations := []runner{
 		{"ablation-chunksize", 400, bench.AblationChunkSize},

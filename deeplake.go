@@ -60,6 +60,34 @@
 //
 // to measure filter-scan throughput at 1/4/16 workers over simulated S3 and
 // the pushdown's origin-request savings against a forced full scan.
+//
+// # The parallel ingestion engine
+//
+// The write path mirrors the read path's concurrency story. Appends to
+// different tensors of one dataset run concurrently: sample validation and
+// encoding (htype checks, media codecs) happen outside every lock, each
+// tensor guards its own chunk builder and index encoders with a private
+// lock, and only a narrow dataset-level critical section remains for
+// row-count and version metadata. Sealed chunks leave the builders through
+// a background flush pipeline — a bounded queue drained by
+// WriteOptions.FlushWorkers concurrent uploads — so appends never stall on
+// object-store Put latency:
+//
+//	ds.SetWriteOptions(deeplake.WriteOptions{FlushWorkers: 16, MaxPending: 32})
+//	... concurrent Append / AppendBatch / transform.Pipeline.Eval ...
+//	ds.Flush(ctx) // barrier: drains the pipeline, then persists metadata
+//
+// Flush and Commit act as barriers: every queued chunk lands before any
+// metadata that references it is persisted, upload errors (including
+// context cancellation) surface there, and the stored objects are
+// byte-identical to the serial path at every worker count — only the upload
+// order differs. Transform pipelines (ETL ingestion) and view
+// materialization write through the same engine by default. Run
+//
+//	go run ./cmd/benchfig ingest
+//
+// to measure 1/4/16-writer ingest throughput over simulated S3 against the
+// TFRecord and WebDataset baselines.
 package deeplake
 
 import (
@@ -111,6 +139,17 @@ type (
 
 	// MergePolicy resolves merge conflicts (§4.2).
 	MergePolicy = core.MergePolicy
+
+	// WriteOptions configures the parallel ingestion engine: sealed chunks
+	// upload through FlushWorkers concurrent background Puts with at most
+	// MaxPending chunks in flight. The zero value is the synchronous
+	// serial write path. Apply with Dataset.SetWriteOptions; Flush/Commit
+	// drain the pipeline before persisting metadata.
+	WriteOptions = core.WriteOptions
+
+	// MaterializeOptions configures MaterializeWith (§4.5), including the
+	// destination's WriteOptions.
+	MaterializeOptions = view.MaterializeOptions
 )
 
 // Dtype constants.
@@ -206,9 +245,16 @@ func NewView(ds *Dataset, indices []uint64, columns []Column) *View {
 }
 
 // Materialize writes a view into a fresh dataset with an optimal streaming
-// layout (§4.5).
+// layout (§4.5). Chunk uploads overlap row evaluation through the
+// destination's flush pipeline; see MaterializeWith to tune or disable it.
 func Materialize(ctx context.Context, v *View, dst Provider, name string) (*Dataset, error) {
 	return view.Materialize(ctx, v, dst, view.MaterializeOptions{Name: name})
+}
+
+// MaterializeWith is Materialize with explicit options: commit message and
+// the destination dataset's write pipeline (WriteOptions).
+func MaterializeWith(ctx context.Context, v *View, dst Provider, opts MaterializeOptions) (*Dataset, error) {
+	return view.Materialize(ctx, v, dst, opts)
 }
 
 // NewResolver builds a linked-tensor resolver.

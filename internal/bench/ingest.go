@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// ingestProfile is S3-same-region at a gentler time compression than the
+// figure defaults, so per-request upload latency — the thing the flush
+// pipeline exists to hide — is realistically visible in the measurement
+// (the readers benchmark makes the same move for its hot-chunk microbench).
+func ingestProfile() simnet.Profile {
+	p := simnet.S3SameRegion()
+	p.TimeScale = 50
+	return p
+}
+
+// ingestBounds keeps chunks small enough that a run seals many chunks, so
+// the measurement exercises the upload path rather than one giant buffer.
+var ingestBounds = chunk.Bounds{Min: 16 << 10, Target: 32 << 10, Max: 64 << 10}
+
+// IngestThroughput measures the parallel ingestion engine the ROADMAP's
+// write-path work targets: raw image samples stream into ONE dataset (one
+// images + one labels tensor) on simnet-throttled S3 through 1, 4 and 16
+// concurrent writers sharing the background chunk flush pipeline
+// (WriteOptions{FlushWorkers}). The serial row is the old write path — one
+// writer, synchronous inline Puts, so every sealed chunk stalls the append
+// loop for a full S3 round trip — and the tfrecord/webdataset rows are the
+// honest external competitors writing the same samples to the same storage
+// profile. 16 writers should clear 4x serial: sample validation and
+// encoding happen outside the locks, sealed chunks upload on concurrent S3
+// lanes while appends continue, and Flush drains the pipeline before
+// persisting metadata (in parallel across tensors).
+func IngestThroughput(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults(384)
+	spec := workload.ImageSpec{Height: 32, Width: 32, Channels: 3}
+	samples := rawSampleSet(cfg, spec)
+	res := &Result{
+		ID:     "ingest",
+		Title:  fmt.Sprintf("ingest %d raw %dx%d images into S3 with 1/4/16 parallel writers", cfg.N, spec.Height, spec.Width),
+		Better: "higher",
+	}
+	res.Notes = append(res.Notes,
+		"one dataset, one images+labels tensor pair shared by every writer (lock-split write path)",
+		"writers-N uses WriteOptions{FlushWorkers: N}: sealed chunks upload in the background, Flush is the barrier",
+		"serial = single writer, synchronous inline chunk Puts (the pre-engine write path)",
+		"simulated S3 at TimeScale 50 so upload latency is visible; baselines pay the same costs")
+
+	// External baselines on the identical storage profile.
+	for _, f := range []baselines.Format{baselines.TFRecord{}, baselines.WebDataset{}} {
+		store := storage.NewSimObjectStore(ingestProfile())
+		start := time.Now()
+		if err := f.Write(ctx, store, samples); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		res.Rows = append(res.Rows, Row{
+			Name: f.Name(), Value: float64(len(samples)) / elapsed, Unit: "smp/s",
+		})
+	}
+
+	serial, err := ingestParallel(ctx, samples, 1, core.WriteOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Row{Name: "deeplake-serial", Value: serial, Unit: "smp/s"})
+
+	for _, writers := range []int{1, 4, 16} {
+		rate, err := ingestParallel(ctx, samples, writers, core.WriteOptions{
+			FlushWorkers: writers, MaxPending: 2 * writers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Name: fmt.Sprintf("writers-%d", writers), Value: rate, Unit: "smp/s",
+			Extra: fmt.Sprintf("%.1fx serial", rate/serial),
+		})
+	}
+	return res, nil
+}
+
+// ingestParallel writes the sample set into a fresh dataset on simulated
+// S3: `writers` goroutines striding the sample set into one shared
+// images+labels tensor pair. It verifies every row landed (reopening the
+// flushed dataset) and returns samples/second including the final Flush.
+func ingestParallel(ctx context.Context, samples []baselines.Sample, writers int, opts core.WriteOptions) (float64, error) {
+	store := storage.NewSimObjectStore(ingestProfile())
+	ds, err := core.Create(ctx, store, "ingest")
+	if err != nil {
+		return 0, err
+	}
+	if err := ds.SetWriteOptions(opts); err != nil {
+		return 0, err
+	}
+	if _, err := ds.CreateTensor(ctx, core.TensorSpec{
+		Name: "images", Htype: "generic", Dtype: tensor.UInt8, Bounds: ingestBounds,
+	}); err != nil {
+		return 0, err
+	}
+	if _, err := ds.CreateTensor(ctx, core.TensorSpec{
+		Name: "labels", Htype: "class_label", Bounds: ingestBounds,
+	}); err != nil {
+		return 0, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(samples); i += writers {
+				arr, err := tensor.FromBytes(tensor.UInt8, samples[i].Shape, samples[i].Data)
+				if err == nil {
+					// Row-atomic append: images and labels stay aligned
+					// however the 16 writers interleave.
+					err = ds.Append(ctx, map[string]*tensor.NDArray{
+						"images": arr,
+						"labels": tensor.Scalar(tensor.Int32, float64(samples[i].Label)),
+					})
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("writer %d sample %d: %w", w, i, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if err := ds.Flush(ctx); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+
+	// Verify from storage that every sample landed.
+	reopened, err := core.Open(ctx, store)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range []string{"images", "labels"} {
+		t := reopened.Tensor(name)
+		if t == nil {
+			return 0, fmt.Errorf("ingest: tensor %q missing after reopen", name)
+		}
+		if got := t.Len(); got != uint64(len(samples)) {
+			return 0, fmt.Errorf("ingest: %d/%d samples landed in %q", got, len(samples), name)
+		}
+	}
+	return float64(len(samples)) / elapsed, nil
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestIngestScenario asserts the write-path acceptance criteria at test
+// scale: every writer configuration lands all samples (the runner verifies
+// row counts against a reopened dataset), and parallel writers with the
+// background flush pipeline beat the serial synchronous path. The full ≥4x
+// target is checked at CLI scale by `benchfig ingest`.
+func TestIngestScenario(t *testing.T) {
+	res, err := IngestThroughput(context.Background(), Config{N: 96, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, ok := res.Value("deeplake-serial")
+	if !ok {
+		t.Fatal("deeplake-serial row missing")
+	}
+	w16, ok := res.Value("writers-16")
+	if !ok {
+		t.Fatal("writers-16 row missing")
+	}
+	if serial <= 0 || w16 <= 0 {
+		t.Fatalf("non-positive ingest throughput: serial %.1f, writers-16 %.1f", serial, w16)
+	}
+	if w16 <= serial {
+		t.Fatalf("16-writer ingest %.1f smp/s should exceed serial %.1f smp/s", w16, serial)
+	}
+	for _, name := range []string{"tfrecord", "webdataset"} {
+		if v, ok := res.Value(name); !ok || v <= 0 {
+			t.Fatalf("baseline %s missing or non-positive", name)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/storage"
 	"repro/internal/tensor"
 	"repro/internal/version"
@@ -29,11 +30,31 @@ import (
 const SampleIDTensor = "_sample_id"
 
 // Dataset is an open Deep Lake dataset bound to a storage provider.
+//
+// Locking: ds.mu is the structure lock. Operations that change the dataset
+// shape — CreateTensor, Flush, Commit, Checkout, Merge — hold it
+// exclusively. Per-tensor writers (Append and friends) and all readers hold
+// it shared and take the owning tensor's lock (Tensor.mu) underneath, so
+// appends to different tensors proceed concurrently and only structure
+// operations serialize the whole dataset. Lock order is always ds.mu before
+// Tensor.mu.
 type Dataset struct {
 	mu    sync.RWMutex
 	store storage.Provider
 	meta  datasetMeta
 	tree  *version.Tree
+
+	// idMu is the narrow critical section for sample-id allocation, taken
+	// without ds.mu held exclusively so row appends stay concurrent.
+	idMu sync.Mutex
+
+	// writeOpts/flusher configure the parallel ingestion engine; nil
+	// flusher means the synchronous serial write path. writeOptsSet
+	// records that SetWriteOptions was called, distinguishing explicit
+	// serial from never-configured. Guarded by ds.mu.
+	writeOpts    WriteOptions
+	writeOptsSet bool
+	flusher      *flushPipeline
 
 	// branch is the checked-out branch; empty when detached at a commit.
 	branch string
@@ -178,12 +199,27 @@ func (ds *Dataset) CreateTensor(ctx context.Context, spec TensorSpec) (*Tensor, 
 	if err != nil {
 		return nil, err
 	}
-	ds.tensors[spec.Name] = t
-	ds.order = append(ds.order, spec.Name)
+	// Clear any sticky error from unrelated background uploads (their
+	// blobs redrive here), then land the tensor's metadata before the
+	// schema that references it. The tensor is registered in ds.tensors
+	// only once everything is durable, so a failed create leaves no
+	// half-registered tensor behind — the call can simply be retried.
+	if ds.flusher != nil {
+		if err := ds.flusher.redrive(ctx); err != nil {
+			return nil, err
+		}
+	}
 	if err := t.save(ctx); err != nil {
 		return nil, err
 	}
+	if err := ds.drainFlusher(ctx); err != nil {
+		return nil, err
+	}
+	ds.tensors[spec.Name] = t
+	ds.order = append(ds.order, spec.Name)
 	if err := ds.persistSchema(ctx); err != nil {
+		delete(ds.tensors, spec.Name)
+		ds.order = ds.order[:len(ds.order)-1]
 		return nil, err
 	}
 	return t, nil
@@ -200,6 +236,17 @@ func (ds *Dataset) DeleteTensor(ctx context.Context, name string) error {
 	}
 	if _, ok := ds.tensors[name]; !ok {
 		return fmt.Errorf("core: tensor %q does not exist", name)
+	}
+	// Land every queued AND parked upload before listing this tensor's
+	// keys, so neither a background Put nor a later flush's redrive
+	// resurrects an object after the delete.
+	if ds.flusher != nil {
+		if err := ds.flusher.redrive(ctx); err != nil {
+			return err
+		}
+		if err := ds.flusher.drain(ctx); err != nil {
+			return err
+		}
 	}
 	delete(ds.tensors, name)
 	for i, n := range ds.order {
@@ -261,8 +308,8 @@ func (ds *Dataset) NumRows() uint64 {
 		if t.meta.Hidden {
 			continue
 		}
-		if first || t.meta.Length < n {
-			n = t.meta.Length
+		if l := t.lengthShared(); first || l < n {
+			n = l
 			first = false
 		}
 	}
@@ -279,8 +326,10 @@ func (ds *Dataset) MaxLength() uint64 {
 	var n uint64
 	for _, name := range ds.order {
 		t := ds.tensors[name]
-		if !t.meta.Hidden && t.meta.Length > n {
-			n = t.meta.Length
+		if !t.meta.Hidden {
+			if l := t.lengthShared(); l > n {
+				n = l
+			}
 		}
 	}
 	return n
@@ -288,17 +337,27 @@ func (ds *Dataset) MaxLength() uint64 {
 
 // Append adds one full row across the given visible tensors and assigns a
 // hidden sample id. Tensors absent from values are left untouched.
+//
+// The row is appended atomically with respect to other Append calls:
+// samples encode outside every lock, then the involved tensors (plus the
+// hidden sample-id tensor) are locked together in name order, so
+// concurrent row appenders interleave whole rows — index k holds the same
+// caller's values in every tensor. Storage trouble cannot tear a row
+// either: flush failures defer (the row commits, the error surfaces, the
+// next Flush retries the upload). Only a structural failure — an internal
+// encoder/builder invariant violation, which no input or storage
+// condition produces — can abort mid-row, and its error return means the
+// handle should be abandoned.
 func (ds *Dataset) Append(ctx context.Context, values map[string]*tensor.NDArray) error {
-	ds.mu.Lock()
-	if err := ds.ensureWritable(); err != nil {
-		ds.mu.Unlock()
+	ds.mu.RLock()
+	err := ds.ensureWritable()
+	idt := ds.tensors[SampleIDTensor]
+	ds.mu.RUnlock()
+	if err != nil {
 		return err
 	}
-	idt := ds.tensors[SampleIDTensor]
-	ds.mu.Unlock()
 
 	if idt == nil {
-		var err error
 		idt, err = ds.CreateTensor(ctx, TensorSpec{
 			Name:   SampleIDTensor,
 			Htype:  "generic",
@@ -306,23 +365,97 @@ func (ds *Dataset) Append(ctx context.Context, values map[string]*tensor.NDArray
 			Hidden: true,
 		})
 		if err != nil {
-			return err
+			// A concurrent row append may have created it first.
+			if idt = ds.Tensor(SampleIDTensor); idt == nil {
+				return err
+			}
 		}
 	}
-	for name, arr := range values {
+
+	// Validate and encode every sample before taking any lock.
+	names := make([]string, 0, len(values))
+	for name := range values {
+		if name == SampleIDTensor {
+			return fmt.Errorf("core: cannot append to hidden tensor %q", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type rowPart struct {
+		t   *Tensor
+		s   chunk.Sample
+		arr *tensor.NDArray
+	}
+	parts := make([]rowPart, 0, len(names))
+	for _, name := range names {
 		t := ds.Tensor(name)
 		if t == nil {
 			return fmt.Errorf("core: unknown tensor %q", name)
 		}
-		if err := t.Append(ctx, arr); err != nil {
+		if t.spec.Sequence {
+			return fmt.Errorf("core: append to %q: tensor is a sequence tensor; use AppendSequence", name)
+		}
+		if t.spec.Link {
+			return fmt.Errorf("core: append to %q: tensor is a link tensor; use AppendLink", name)
+		}
+		s, err := t.encodeSample(values[name])
+		if err != nil {
 			return fmt.Errorf("core: append to %q: %w", name, err)
 		}
+		parts = append(parts, rowPart{t: t, s: s, arr: values[name]})
 	}
-	ds.mu.Lock()
+
+	// Lock the full tensor set in name order (the one deterministic
+	// multi-tensor lock order in the package; _sample_id sorts with the
+	// rest) and commit the row.
+	locked := append(parts, rowPart{t: idt})
+	sort.Slice(locked, func(i, j int) bool { return locked[i].t.name < locked[j].t.name })
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if err := ds.ensureWritable(); err != nil {
+		return err
+	}
+	for i := range locked {
+		// A Checkout during the unlocked encoding replaces ds.tensors;
+		// committing to orphaned handles would silently lose the row.
+		if ds.tensors[locked[i].t.name] != locked[i].t {
+			return fmt.Errorf("core: tensor handle %q is stale (a checkout replaced it)", locked[i].t.name)
+		}
+	}
+	for i := range locked {
+		locked[i].t.mu.Lock()
+	}
+	defer func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i].t.mu.Unlock()
+		}
+	}()
+	// Deferred flush errors (storage hiccups whose bytes are parked and
+	// retried by the next Flush) do not abort the row: every tensor still
+	// records its sample, so index k stays aligned across the row; the
+	// first such error is surfaced after the row commits.
+	var dc deferredCollector
+	for _, p := range parts {
+		if err := dc.note(p.t.appendEncodedSample(ctx, p.s, p.arr)); err != nil {
+			return fmt.Errorf("core: append to %q: %w", p.t.name, err)
+		}
+		p.t.meta.Length++
+		p.t.diff.AddedTo = p.t.meta.Length
+	}
+	ds.idMu.Lock()
 	id := ds.meta.NextSampleID
 	ds.meta.NextSampleID++
-	ds.mu.Unlock()
-	return idt.Append(ctx, tensor.Scalar(tensor.UInt64, float64(id)))
+	ds.idMu.Unlock()
+	idSample, err := idt.encodeSample(tensor.Scalar(tensor.UInt64, float64(id)))
+	if err != nil {
+		return err
+	}
+	if err := dc.note(idt.appendEncodedSample(ctx, idSample, nil)); err != nil {
+		return err
+	}
+	idt.meta.Length++
+	idt.diff.AddedTo = idt.meta.Length
+	return dc.err()
 }
 
 // Flush writes all buffered chunks and metadata to storage. A dataset must
@@ -333,17 +466,61 @@ func (ds *Dataset) Flush(ctx context.Context) error {
 	return ds.flushLocked(ctx)
 }
 
+// flushLocked seals every tensor's pending chunk, waits for the flush
+// pipeline to land all chunk uploads (the barrier that keeps version
+// semantics identical to the serial path), then persists metadata strictly
+// after the data it references — in parallel across tensors when a
+// pipeline is configured, since per-tensor metadata objects are
+// independent. dataset.json and the version tree go last, once everything
+// they reference is durable. Caller holds ds.mu exclusively.
 func (ds *Dataset) flushLocked(ctx context.Context) error {
-	for _, name := range ds.order {
-		t := ds.tensors[name]
-		if err := t.flushPending(ctx); err != nil {
-			return err
-		}
-		if err := t.save(ctx); err != nil {
+	// A new flush attempt restarts uploads that failed or were cancelled
+	// earlier — their blobs are still in the pipeline's pending map, so a
+	// transient upload error is recovered by simply flushing again.
+	if ds.flusher != nil {
+		if err := ds.flusher.redrive(ctx); err != nil {
 			return err
 		}
 	}
+	for _, name := range ds.order {
+		if err := ds.tensors[name].flushPending(ctx); err != nil {
+			return err
+		}
+	}
+	if err := ds.drainFlusher(ctx); err != nil {
+		return err
+	}
+	// save() routes per-tensor metadata through the pipeline as well (the
+	// objects are independent), so a second drain fences them before the
+	// root files that reference everything go out.
+	for _, name := range ds.order {
+		if err := ds.tensors[name].save(ctx); err != nil {
+			return err
+		}
+	}
+	if err := ds.drainFlusher(ctx); err != nil {
+		return err
+	}
 	return ds.persistRoot(ctx)
+}
+
+// drainFlusher waits for every queued upload and surfaces the first error.
+// Caller holds ds.mu exclusively.
+func (ds *Dataset) drainFlusher(ctx context.Context) error {
+	if ds.flusher == nil {
+		return nil
+	}
+	return ds.flusher.drain(ctx)
+}
+
+// putObject stores one metadata object: through the flush pipeline when one
+// is configured (callers fence with drainFlusher before depending on it),
+// inline otherwise.
+func (ds *Dataset) putObject(ctx context.Context, key string, blob []byte) error {
+	if ds.flusher != nil {
+		return ds.flusher.enqueue(ctx, key, blob)
+	}
+	return ds.store.Put(ctx, key, blob)
 }
 
 func (ds *Dataset) ensureWritable() error {
@@ -353,7 +530,9 @@ func (ds *Dataset) ensureWritable() error {
 	return nil
 }
 
-// persistRoot writes dataset.json and the version tree.
+// persistRoot writes dataset.json and the version tree. Caller holds ds.mu
+// exclusively; NextSampleID is copied under idMu because row appends
+// allocate ids outside the structure lock.
 func (ds *Dataset) persistRoot(ctx context.Context) error {
 	ds.meta.CurrentBranch = ds.branch
 	if ds.branch == "" {
@@ -361,7 +540,10 @@ func (ds *Dataset) persistRoot(ctx context.Context) error {
 		// Open recovers a writable state.
 		ds.meta.CurrentBranch = version.DefaultBranch
 	}
-	if err := ds.store.Put(ctx, datasetMetaKey, mustJSON(ds.meta)); err != nil {
+	ds.idMu.Lock()
+	meta := ds.meta
+	ds.idMu.Unlock()
+	if err := ds.store.Put(ctx, datasetMetaKey, mustJSON(meta)); err != nil {
 		return err
 	}
 	rawTree, err := ds.tree.Marshal()

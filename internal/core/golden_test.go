@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// Golden equivalence suite: the parallel flush pipeline must produce a
+// byte-identical dataset to the serial write path — same storage keys, same
+// blobs — for every chunk, chunk set, diff, meta, encoder, schema and root
+// file, at any flush-worker count. Only the upload ORDER may differ.
+
+// pinClock fixes every timestamp source of a freshly created dataset so two
+// builds are bit-comparable.
+func pinClock(ds *Dataset) {
+	fixed := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	ds.now = func() time.Time { return fixed }
+	ds.meta.CreatedAt = fixed
+	for _, n := range ds.tree.Nodes {
+		n.CreatedAt = fixed
+	}
+}
+
+// buildGoldenDataset writes a deterministic mixed workload — multi-chunk
+// scalars, batched appends, raw images, a sequence tensor, a link tensor,
+// an oversize tiled sample, in-place updates, padding, a commit with
+// post-commit appends — through the given write options.
+func buildGoldenDataset(t *testing.T, opts WriteOptions) storage.Provider {
+	t.Helper()
+	ctx := context.Background()
+	store := storage.NewMemory()
+	ds, err := Create(ctx, store, "golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinClock(ds)
+	if err := ds.SetWriteOptions(opts); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ds.CreateTensor(ctx, TensorSpec{Name: "vals", Dtype: tensor.Float64, Bounds: smallBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs, err := ds.CreateTensor(ctx, TensorSpec{Name: "imgs", Htype: "generic", Dtype: tensor.UInt8, Bounds: smallBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ds.CreateTensor(ctx, TensorSpec{Name: "seq", Htype: "sequence[generic]", Dtype: tensor.Int32, Bounds: smallBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := ds.CreateTensor(ctx, TensorSpec{Name: "links", Htype: "link[image]", Bounds: smallBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 96; i++ {
+		if err := vals.Append(ctx, tensor.Scalar(tensor.Float64, float64(i)*1.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batched rows through the single-lock batch path.
+	bvals := make([]float64, 32*3)
+	for i := range bvals {
+		bvals[i] = float64(i % 17)
+	}
+	batch, err := tensor.FromFloat64s(tensor.Float64, []int{32, 3}, bvals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vals.AppendBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	// Small raw images, several per chunk.
+	for i := 0; i < 24; i++ {
+		pix := make([]byte, 4*4*3)
+		for p := range pix {
+			pix[p] = byte((i*31 + p) % 251)
+		}
+		img, err := tensor.FromBytes(tensor.UInt8, []int{4, 4, 3}, pix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := imgs.Append(ctx, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One oversize raw sample: exercises the tiling path.
+	pix := make([]byte, 16*16*3)
+	for p := range pix {
+		pix[p] = byte(p % 101)
+	}
+	big, err := tensor.FromBytes(tensor.UInt8, []int{16, 16, 3}, pix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := imgs.Append(ctx, big); err != nil {
+		t.Fatal(err)
+	}
+	// Sequence rows and links.
+	for i := 0; i < 8; i++ {
+		items := []*tensor.NDArray{
+			tensor.Scalar(tensor.Int32, float64(i)),
+			tensor.Scalar(tensor.Int32, float64(i * 2)),
+		}
+		if err := seq.AppendSequence(ctx, items); err != nil {
+			t.Fatal(err)
+		}
+		if err := links.AppendLink(ctx, fmt.Sprintf("s3://bucket/object-%03d.png", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// In-place updates (copy-on-write chunk rewrites under existing ids).
+	for _, idx := range []uint64{3, 40, 95} {
+		if err := vals.SetAt(ctx, idx, tensor.Scalar(tensor.Float64, float64(idx)+0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Commit freezes v1; post-commit appends land in the new head.
+	if _, err := ds.Commit(ctx, "golden snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := vals.Append(ctx, tensor.Scalar(tensor.Float64, float64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vals.PadTo(ctx, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// snapshotKeys lists every stored object key.
+func snapshotKeys(t *testing.T, store storage.Provider) []string {
+	t.Helper()
+	keys, err := store.List(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestParallelFlushGoldenEquivalence builds the same dataset through the
+// serial path, a 1-worker pipeline and a 16-worker pipeline, and asserts the
+// stored objects are byte-identical across all three.
+func TestParallelFlushGoldenEquivalence(t *testing.T) {
+	ctx := context.Background()
+	serial := buildGoldenDataset(t, WriteOptions{})
+	serialKeys := snapshotKeys(t, serial)
+	if len(serialKeys) == 0 {
+		t.Fatal("golden build produced no objects")
+	}
+	var chunkKeys int
+	for _, k := range serialKeys {
+		if strings.Contains(k, "/chunks/") {
+			chunkKeys++
+		}
+	}
+	if chunkKeys < 10 {
+		t.Fatalf("golden build produced only %d chunk objects; workload too small to be meaningful", chunkKeys)
+	}
+
+	for _, workers := range []int{1, 16} {
+		t.Run(fmt.Sprintf("flushworkers-%d", workers), func(t *testing.T) {
+			parallel := buildGoldenDataset(t, WriteOptions{FlushWorkers: workers})
+			parallelKeys := snapshotKeys(t, parallel)
+			if got, want := fmt.Sprint(parallelKeys), fmt.Sprint(serialKeys); got != want {
+				t.Fatalf("stored key sets differ:\nserial:   %v\nparallel: %v", serialKeys, parallelKeys)
+			}
+			for _, key := range serialKeys {
+				want, err := serial.Get(ctx, key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := parallel.Get(ctx, key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("object %q differs between serial and %d-worker flush (%d vs %d bytes)",
+						key, workers, len(want), len(got))
+				}
+			}
+		})
+	}
+}

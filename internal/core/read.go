@@ -15,6 +15,8 @@ import (
 func (t *Tensor) At(ctx context.Context, idx uint64) (*tensor.NDArray, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.atLocked(ctx, idx)
 }
 
@@ -128,6 +130,8 @@ func (t *Tensor) readTiled(ctx context.Context, entry encoder.TileEntry, region 
 func (t *Tensor) Slice(ctx context.Context, idx uint64, region []tensor.Range) (*tensor.NDArray, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.spec.Sequence {
 		return nil, fmt.Errorf("core: Slice of sequence tensors is not supported; slice items individually")
 	}
@@ -231,6 +235,8 @@ const maxRankHint = 8
 func (t *Tensor) SequenceAt(ctx context.Context, row int) ([]*tensor.NDArray, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.sequenceAtLocked(ctx, row)
 }
 
@@ -257,6 +263,8 @@ func (t *Tensor) sequenceAtLocked(ctx context.Context, row int) ([]*tensor.NDArr
 func (t *Tensor) SequenceLen(row int) (int, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	start, end, err := t.seqEnc.RowRange(row)
 	if err != nil {
 		return 0, err
@@ -268,6 +276,8 @@ func (t *Tensor) SequenceLen(row int) (int, error) {
 func (t *Tensor) LinkAt(ctx context.Context, idx uint64) (string, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if !t.spec.Link {
 		return "", fmt.Errorf("core: tensor %q is not a link tensor", t.name)
 	}
@@ -284,6 +294,8 @@ func (t *Tensor) LinkAt(ctx context.Context, idx uint64) (string, error) {
 func (t *Tensor) RawAt(ctx context.Context, idx uint64) ([]byte, []int, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	s, err := t.storedSample(ctx, idx)
 	if err != nil {
 		return nil, nil, err
@@ -298,6 +310,8 @@ func (t *Tensor) RawAt(ctx context.Context, idx uint64) ([]byte, []int, error) {
 func (t *Tensor) Shape(idx uint64) ([]int, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.shapeEnc.Get(idx)
 }
 
@@ -312,6 +326,8 @@ func (t *Tensor) DecodeStored(data []byte, shape []int) (*tensor.NDArray, error)
 func (t *Tensor) ChunkOf(idx uint64) (uint64, int, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.chunkEnc.Lookup(idx)
 }
 
@@ -320,6 +336,8 @@ func (t *Tensor) ChunkOf(idx uint64) (uint64, int, error) {
 func (t *Tensor) ReadChunkSamples(ctx context.Context, chunkID uint64) ([]chunk.Sample, error) {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.builder.Len() > 0 && chunkID == t.pendingID {
 		out := make([]chunk.Sample, len(t.pendingSamples))
 		copy(out, t.pendingSamples)

@@ -21,6 +21,8 @@ type ChunkSpan struct {
 func (t *Tensor) ChunkSpans() []ChunkSpan {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.chunkEnc.NumChunks()
 	out := make([]ChunkSpan, 0, n)
 	for r := 0; r < n; r++ {
@@ -57,6 +59,8 @@ func (r *ScanReader) At(ctx context.Context, idx uint64) (*tensor.NDArray, error
 	t := r.t
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.spec.Sequence {
 		return t.atLocked(ctx, idx)
 	}

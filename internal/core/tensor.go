@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"repro/internal/chunk"
 	"repro/internal/compress"
@@ -15,11 +16,20 @@ import (
 // Tensor is one typed column of a dataset (§3.2). Appends accumulate in a
 // bounded chunk builder; reads consult the chunk encoder and fetch chunks
 // (or sub-chunk byte ranges) from the storage provider.
+//
+// Locking: mu guards the tensor's mutable write state (meta counters,
+// builder, encoders, chunk maps, diff). Writers hold it exclusively under a
+// shared ds.mu, so appends to different tensors of one dataset run
+// concurrently; readers hold both shared. Fields set at construction (ds,
+// name, spec, codecs) are immutable and read lock-free — sample encoding
+// only touches those, which is why it happens outside every lock.
 type Tensor struct {
 	ds   *Dataset
 	name string
 	meta TensorMeta
 	spec tensor.HtypeSpec
+
+	mu sync.RWMutex
 
 	chunkCodec  compress.Codec       // nil means uncompressed chunks
 	sampleCodec compress.SampleCodec // nil means raw samples
@@ -238,6 +248,8 @@ func (t *Tensor) Name() string { return t.name }
 func (t *Tensor) Meta() TensorMeta {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.meta
 }
 
@@ -254,6 +266,14 @@ func (t *Tensor) Dtype() tensor.Dtype {
 func (t *Tensor) Len() uint64 {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	return t.lengthShared()
+}
+
+// lengthShared reads the row count under the tensor lock only; the caller
+// already holds ds.mu (shared or exclusive).
+func (t *Tensor) lengthShared() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.meta.Length
 }
 
@@ -261,10 +281,13 @@ func (t *Tensor) Len() uint64 {
 func (t *Tensor) NumChunks() int {
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.chunkEnc.NumChunks()
 }
 
-// allocChunkID hands out the next chunk id. Caller holds the write lock.
+// allocChunkID hands out the next chunk id. Caller holds the tensor write
+// lock (or ds.mu exclusively).
 func (t *Tensor) allocChunkID() uint64 {
 	id := t.meta.NextChunkID
 	t.meta.NextChunkID++
@@ -272,11 +295,13 @@ func (t *Tensor) allocChunkID() uint64 {
 }
 
 // save persists tensor metadata, encoders, chunk set and diff into the
-// current head version directory. Caller holds the write lock.
+// current head version directory. The writes route through the flush
+// pipeline when one is configured (they are independent objects; callers
+// drain before persisting the root files that reference them). Caller
+// holds ds.mu exclusively.
 func (t *Tensor) save(ctx context.Context) error {
 	vid := t.ds.head
-	st := t.ds.store
-	if err := st.Put(ctx, tensorMetaKey(vid, t.name), mustJSON(t.meta)); err != nil {
+	if err := t.ds.putObject(ctx, tensorMetaKey(vid, t.name), mustJSON(t.meta)); err != nil {
 		return err
 	}
 	for key, enc := range map[string]binaryCodec{
@@ -289,7 +314,7 @@ func (t *Tensor) save(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		if err := st.Put(ctx, key, blob); err != nil {
+		if err := t.ds.putObject(ctx, key, blob); err != nil {
 			return err
 		}
 	}
@@ -298,14 +323,17 @@ func (t *Tensor) save(ctx context.Context) error {
 		ids = append(ids, id)
 	}
 	sortUint64s(ids)
-	if err := st.Put(ctx, chunkSetKey(vid, t.name), mustJSON(chunkSetFile{Chunks: ids})); err != nil {
+	if err := t.ds.putObject(ctx, chunkSetKey(vid, t.name), mustJSON(chunkSetFile{Chunks: ids})); err != nil {
 		return err
 	}
-	return st.Put(ctx, diffKey(vid, t.name), mustJSON(t.diff))
+	return t.ds.putObject(ctx, diffKey(vid, t.name), mustJSON(t.diff))
 }
 
-// flushPending writes the buffered chunk to storage. Caller holds the write
-// lock.
+// flushPending seals the buffered chunk and writes it to storage. Caller
+// holds the tensor write lock (or ds.mu exclusively). pendingSamples is
+// cleared as soon as the builder is consumed — from that point the sealed
+// blob (inline-stored, or held in the pipeline's pending map) is the
+// authoritative copy those rows are read from.
 func (t *Tensor) flushPending(ctx context.Context) error {
 	if t.builder.Len() == 0 {
 		return nil
@@ -314,15 +342,17 @@ func (t *Tensor) flushPending(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	if err := t.writeChunk(ctx, t.pendingID, blob); err != nil {
-		return err
-	}
 	t.pendingSamples = nil
-	return nil
+	return t.writeChunk(ctx, t.pendingID, blob)
 }
 
 // writeChunk compresses and stores one chunk blob in the head version,
-// updating the chunk set and version map. Caller holds the write lock.
+// updating the chunk set and version map. With a flush pipeline configured
+// the sealed blob is handed to the background uploaders and the call
+// returns once the chunk is queued (readers see it through the pipeline's
+// pending map until the upload lands); otherwise the Put happens inline.
+// Caller holds the tensor write lock (or ds.mu exclusively); ds.head is
+// stable because every writer also holds ds.mu shared.
 func (t *Tensor) writeChunk(ctx context.Context, id uint64, blob []byte) error {
 	if t.chunkCodec != nil {
 		var err error
@@ -331,7 +361,24 @@ func (t *Tensor) writeChunk(ctx context.Context, id uint64, blob []byte) error {
 			return err
 		}
 	}
-	if err := t.ds.store.Put(ctx, chunkKey(t.ds.head, t.name, id), blob); err != nil {
+	key := chunkKey(t.ds.head, t.name, id)
+	if fp := t.ds.flusher; fp != nil {
+		// The pipeline records the blob even when enqueue errors (sticky
+		// failure or cancelled backpressure wait): the bytes stay readable
+		// and a later flush redrives them. Register the chunk in the index
+		// maps regardless so tensor state stays consistent with the rows
+		// the chunk encoder already references, then surface the error as
+		// deferred — append paths finish recording their row before
+		// reporting it, keeping multi-tensor rows aligned.
+		err := fp.enqueue(ctx, key, blob)
+		t.chunkSet[id] = true
+		t.chunkVersion[id] = t.ds.head
+		if err != nil {
+			return &DeferredFlushError{Cause: err}
+		}
+		return nil
+	}
+	if err := t.ds.store.Put(ctx, key, blob); err != nil {
 		return err
 	}
 	t.chunkSet[id] = true
@@ -340,15 +387,25 @@ func (t *Tensor) writeChunk(ctx context.Context, id uint64, blob []byte) error {
 }
 
 // readChunk fetches and decompresses chunk id, resolving the owning
-// version directory through the version map.
+// version directory through the version map. Chunks whose upload is still
+// in flight are served from the pipeline's pending map, so same-process
+// readers never race the background uploaders.
 func (t *Tensor) readChunk(ctx context.Context, id uint64) ([]byte, error) {
 	vid, ok := t.chunkVersion[id]
 	if !ok {
 		return nil, fmt.Errorf("core: chunk %d of tensor %q not found in any version", id, t.name)
 	}
-	raw, err := t.ds.store.Get(ctx, chunkKey(vid, t.name, id))
-	if err != nil {
-		return nil, err
+	key := chunkKey(vid, t.name, id)
+	raw, inflight := []byte(nil), false
+	if fp := t.ds.flusher; fp != nil {
+		raw, inflight = fp.lookup(key)
+	}
+	if !inflight {
+		var err error
+		raw, err = t.ds.store.Get(ctx, key)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if t.chunkCodec != nil {
 		return t.chunkCodec.Decompress(raw)

@@ -22,39 +22,53 @@ func tileEntryOf(layout chunk.TileLayout, ids []uint64) encoder.TileEntry {
 // length, the tensor is padded with empty samples up to idx first (§3.5
 // sparse tensors).
 func (t *Tensor) SetAt(ctx context.Context, idx uint64, arr *tensor.NDArray) error {
-	t.ds.mu.Lock()
-	defer t.ds.mu.Unlock()
-	if err := t.ds.ensureWritable(); err != nil {
+	if err := t.ds.writableNow(); err != nil {
 		return err
 	}
 	if t.spec.Sequence {
 		return fmt.Errorf("core: SetAt on sequence tensors is not supported")
 	}
-	if idx >= t.meta.Length {
-		if t.ds.strict {
-			return fmt.Errorf("core: index %d out of bounds for tensor %q (len %d, strict mode)", idx, t.name, t.meta.Length)
-		}
-		if err := t.padToLocked(ctx, idx+1); err != nil {
-			return err
-		}
-	}
+	// Encode outside the locks; only the index/chunk surgery below needs
+	// exclusive access.
 	s, err := t.encodeSample(arr)
 	if err != nil {
 		return err
 	}
-	if err := t.replaceStored(ctx, idx, s); err != nil {
+	if err := t.beginWrite(); err != nil {
+		return err
+	}
+	defer t.ds.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Deferred flush errors (parked, redrivable uploads) do not abort the
+	// update mid-way: the index state is fully adjusted and the error is
+	// surfaced afterwards.
+	var dc deferredCollector
+	if idx >= t.meta.Length {
+		if t.ds.strict {
+			return fmt.Errorf("core: index %d out of bounds for tensor %q (len %d, strict mode)", idx, t.name, t.meta.Length)
+		}
+		if err := dc.note(t.padToLocked(ctx, idx+1)); err != nil {
+			return err
+		}
+	}
+	if err := dc.note(t.replaceStored(ctx, idx, s)); err != nil {
 		return err
 	}
 	if err := t.shapeEnc.Set(idx, s.Shape); err != nil {
 		return err
 	}
 	t.recordUpdate(idx)
-	return nil
+	return dc.err()
 }
 
-// replaceStored swaps the stored bytes of flat sample idx. Caller holds the
-// write lock.
+// replaceStored swaps the stored bytes of flat sample idx. Caller holds
+// the tensor write lock. A deferred flush error from sealing or rewriting
+// (bytes parked, redrivable) is carried through — the replacement still
+// completes — so the caller's index state never diverges from the data.
 func (t *Tensor) replaceStored(ctx context.Context, idx uint64, s chunk.Sample) error {
+	var dc deferredCollector
+	note := dc.note
 	if _, tiled := t.tileEnc.Get(idx); tiled {
 		// Replacing a tiled sample re-tiles it from scratch.
 		arr, err := t.decodeSample(s)
@@ -67,10 +81,10 @@ func (t *Tensor) replaceStored(ctx context.Context, idx uint64, s chunk.Sample) 
 				return err
 			}
 		}
-		if err := t.appendTiledReplace(ctx, idx, arr); err != nil {
+		if err := note(t.appendTiledReplace(ctx, idx, arr)); err != nil {
 			return err
 		}
-		return nil
+		return dc.err()
 	}
 	chunkID, local, err := t.chunkEnc.Lookup(idx)
 	if err != nil {
@@ -89,8 +103,9 @@ func (t *Tensor) replaceStored(ctx context.Context, idx uint64, s chunk.Sample) 
 		// The replacement would overflow the buffered chunk: persist
 		// the pending chunk as-is and rewrite it copy-on-write below,
 		// where chunks may exceed the bound (Rechunk repairs layout,
-		// §3.5).
-		if err := t.flushPending(ctx); err != nil {
+		// §3.5). A deferred seal failure parks the blob readable, so the
+		// rewrite below still sees the current bytes.
+		if err := note(t.flushPending(ctx)); err != nil {
 			return err
 		}
 	}
@@ -112,12 +127,17 @@ func (t *Tensor) replaceStored(ctx context.Context, idx uint64, s chunk.Sample) 
 	}
 	// Copy-on-write: the rewritten chunk lands in the head version under
 	// the same id; ancestry lookup finds the newest copy first.
-	return t.writeChunk(ctx, chunkID, blob)
+	if err := note(t.writeChunk(ctx, chunkID, blob)); err != nil {
+		return err
+	}
+	return dc.err()
 }
 
 // appendTiledReplace re-tiles a sample that was already tiled, reusing its
-// index slot.
+// index slot. Deferred flush errors from tile uploads are collected; the
+// tile layout is still fully recorded before they surface.
 func (t *Tensor) appendTiledReplace(ctx context.Context, idx uint64, arr *tensor.NDArray) error {
+	var dc deferredCollector
 	layout, err := chunk.PlanTiles(arr.Shape(), arr.Dtype().Size(), t.meta.Bounds.Target)
 	if err != nil {
 		return err
@@ -133,12 +153,15 @@ func (t *Tensor) appendTiledReplace(ctx context.Context, idx uint64, arr *tensor
 		if err != nil {
 			return err
 		}
-		if err := t.writeChunk(ctx, id, blob); err != nil {
+		if err := dc.note(t.writeChunk(ctx, id, blob)); err != nil {
 			return err
 		}
 		ids = append(ids, id)
 	}
-	return t.tileEnc.Set(idx, tileEntryOf(layout, ids))
+	if err := t.tileEnc.Set(idx, tileEntryOf(layout, ids)); err != nil {
+		return err
+	}
+	return dc.err()
 }
 
 // rebuildPending re-syncs the chunk builder after an in-buffer update.
@@ -166,24 +189,26 @@ func (t *Tensor) recordUpdate(idx uint64) {
 // PadTo extends the tensor with empty samples until it has n rows,
 // supporting sparse out-of-bounds assignment (§3.5).
 func (t *Tensor) PadTo(ctx context.Context, n uint64) error {
-	t.ds.mu.Lock()
-	defer t.ds.mu.Unlock()
-	if err := t.ds.ensureWritable(); err != nil {
+	if err := t.beginWrite(); err != nil {
 		return err
 	}
+	defer t.ds.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.padToLocked(ctx, n)
 }
 
 func (t *Tensor) padToLocked(ctx context.Context, n uint64) error {
+	var dc deferredCollector
 	for t.meta.Length < n {
 		empty := chunk.Sample{Shape: []int{0}, Data: nil}
-		if err := t.appendEncodedSample(ctx, empty, nil); err != nil {
+		if err := dc.note(t.appendEncodedSample(ctx, empty, nil)); err != nil {
 			return err
 		}
 		t.meta.Length++
 		t.diff.AddedTo = t.meta.Length
 	}
-	return nil
+	return dc.err()
 }
 
 // Rechunk rewrites the tensor's chunks at the optimal layout (§3.5: "we
@@ -192,12 +217,19 @@ func (t *Tensor) padToLocked(ctx context.Context, n uint64) error {
 // fresh bounded chunks in the current head version; the chunk encoder is
 // replaced wholesale. Tiled samples are left untouched.
 func (t *Tensor) Rechunk(ctx context.Context) error {
-	t.ds.mu.Lock()
-	defer t.ds.mu.Unlock()
-	if err := t.ds.ensureWritable(); err != nil {
+	if err := t.beginWrite(); err != nil {
 		return err
 	}
-	if err := t.flushPending(ctx); err != nil {
+	defer t.ds.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Deferred flush errors must not abort a rechunk midway: writeChunk
+	// has already registered the new id, so bailing before ReplaceAll
+	// would persist chunk ids no row references. Collect them, finish the
+	// swap, surface afterwards.
+	var dc deferredCollector
+	note := dc.note
+	if err := note(t.flushPending(ctx)); err != nil {
 		return err
 	}
 	total := t.chunkEnc.NumSamples()
@@ -216,7 +248,7 @@ func (t *Tensor) Rechunk(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		if err := t.writeChunk(ctx, curID, blob); err != nil {
+		if err := note(t.writeChunk(ctx, curID, blob)); err != nil {
 			return err
 		}
 		newIDs = append(newIDs, curID)
@@ -257,5 +289,8 @@ func (t *Tensor) Rechunk(ctx context.Context) error {
 		return err
 	}
 	_ = curCount
-	return t.chunkEnc.ReplaceAll(newIDs, newCounts)
+	if err := t.chunkEnc.ReplaceAll(newIDs, newCounts); err != nil {
+		return err
+	}
+	return dc.err()
 }

@@ -56,7 +56,9 @@ func (ds *Dataset) carryStateForward(ctx context.Context, from string) error {
 			return err
 		}
 	}
-	return nil
+	// save routes through the flush pipeline; fence the new head's state
+	// before the caller persists the root files.
+	return ds.drainFlusher(ctx)
 }
 
 // Checkout switches to a branch, creating it when create is true, or enters

@@ -1,0 +1,90 @@
+package tql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// Fuzz targets for the TQL front end. The scan engine work grew the lexer
+// and parser without any fuzz coverage; these targets assert the only
+// contract a hostile query string gets: a clean error, never a panic, an
+// out-of-range token access, or a hang. CI runs them with a short
+// -fuzztime next to the unit suite.
+
+// fuzzSeeds covers every token class and clause the lexer/parser know:
+// numbers (ints, floats, exponents), single- and double-quoted strings
+// with escapes, every operator, bracket indexing with ranges, function
+// calls, and the full clause set incl. ARRANGE/SAMPLE BY and VERSION.
+var fuzzSeeds = []string{
+	"SELECT * FROM ds",
+	"SELECT images, labels FROM ds WHERE labels == 2",
+	"SELECT * FROM ds WHERE SHAPE(images)[0] > 100 AND MEAN(images) > 50.5",
+	"SELECT images[0:2, 10:20] FROM ds ORDER BY labels DESC LIMIT 10 OFFSET 5",
+	"SELECT * FROM ds GROUP BY labels",
+	"SELECT * FROM ds SAMPLE BY MAX_WEIGHT(labels == 2: 10, True: 1)",
+	"SELECT * FROM ds ARRANGE BY labels",
+	"SELECT * FROM ds VERSION \"v00000001\" WHERE labels != 0",
+	"SELECT * FROM ds WHERE CONTAINS(categories, 'person')",
+	"SELECT * FROM ds WHERE labels IN (1, 2, 3) OR NOT (labels >= 7)",
+	"SELECT l2_norm(embeddings - ARRAY[1.0, 2.5e-3, .5]) AS dist FROM ds",
+	"SELECT * FROM ds WHERE text == 'it''s' AND other == \"a\\\"b\"",
+	"SELECT * FROM ds WHERE a + b * c / d % e - -f == +1e10",
+	"SELECT RANDOM() FROM ds UNION SELECT * FROM ds2",
+	"select lower(mixed_CASE) from ds where size(x) <= ndim(y)",
+	"SELECT * FROM ds WHERE x[0][1:2][3:] < 4",
+	"",
+	"SELECT",
+	"((((((((((",
+	"'unterminated",
+	"\x00\xff\xfe",
+	"SELECT * FROM ds WHERE " + strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64),
+	"9999999999999999999999999999999999999999e999999999",
+	"-- comment? tql has none",
+}
+
+// FuzzLex runs the lexer alone: any input must yield tokens or an error,
+// and returned tokens must cover valid byte ranges of the input.
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tokens, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(tokens) == 0 {
+			t.Fatalf("lex(%q) returned no tokens and no error (EOF token missing)", src)
+		}
+		for _, tok := range tokens {
+			if tok.pos < 0 || tok.pos > len(src) {
+				t.Fatalf("lex(%q): token %q at out-of-range pos %d", src, tok.text, tok.pos)
+			}
+		}
+	})
+}
+
+// FuzzParse runs the full front end: lex, parse, and — when a query
+// survives — plan compilation. None of the stages may panic.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			// Errors must still be well-formed for valid UTF-8 inputs.
+			if utf8.ValidString(src) && err.Error() == "" {
+				t.Fatalf("Parse(%q): empty error message", src)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q): nil query without error", src)
+		}
+		if _, err := Compile(q); err != nil {
+			return
+		}
+	})
+}

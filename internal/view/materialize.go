@@ -15,6 +15,26 @@ type MaterializeOptions struct {
 	// Message recorded as the first commit of the produced dataset,
 	// preserving lineage back to the query.
 	Message string
+	// Write configures the destination's parallel ingestion engine. The
+	// zero value defaults to a small background flush pipeline
+	// (FlushWorkers = 4) so chunk uploads overlap row evaluation; set
+	// Write.FlushWorkers < 0 to force the synchronous serial path. The
+	// stored bytes are identical either way — the final Commit drains the
+	// pipeline before metadata is persisted.
+	Write core.WriteOptions
+}
+
+// resolveWrite maps the option's zero/negative conventions onto the core
+// semantics (0 workers = synchronous).
+func (o MaterializeOptions) resolveWrite() core.WriteOptions {
+	w := o.Write
+	if w.FlushWorkers == 0 {
+		w.FlushWorkers = 4
+	}
+	if w.FlushWorkers < 0 {
+		w = core.WriteOptions{}
+	}
+	return w
 }
 
 // Materialize evaluates every view row and writes a fresh dataset with an
@@ -29,6 +49,9 @@ func Materialize(ctx context.Context, v *View, dst storage.Provider, opts Materi
 	}
 	out, err := core.Create(ctx, dst, opts.Name)
 	if err != nil {
+		return nil, err
+	}
+	if err := out.SetWriteOptions(opts.resolveWrite()); err != nil {
 		return nil, err
 	}
 	// Create output tensors.
