@@ -114,3 +114,12 @@ func BenchmarkTQLScan(b *testing.B) {
 func BenchmarkIngestThroughput(b *testing.B) {
 	runFigure(b, benchConfig(96, 0), bench.IngestThroughput)
 }
+
+// BenchmarkTrainStream measures the end-to-end train loop on the
+// chunk-aligned streaming dataloader: a simulated GPU fed from simulated
+// S3 at 1/4/16 workers and 4 Rank/WorldSize shards, against the TFRecord
+// and WebDataset read paths (§4.6 streaming dataloader). The runner also
+// enforces the decode-once and batch-determinism contracts.
+func BenchmarkTrainStream(b *testing.B) {
+	runFigure(b, benchConfig(96, 0), bench.TrainStream)
+}

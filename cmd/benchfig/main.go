@@ -1,11 +1,18 @@
 // Command benchfig regenerates the paper's evaluation figures (§6) as text
 // tables: Fig 6 (ingestion across formats), Fig 7 (local dataloaders),
 // Fig 8 (storage locations), Fig 9 (ImageNet training modes on S3), Fig 10
-// (distributed CLIP-like training utilization), plus the ablation sweeps.
+// (distributed CLIP-like training utilization), plus the ablation sweeps
+// and the subsystem scenarios (concurrent readers, TQL scan, parallel
+// ingest, end-to-end train loop).
+//
+// With -json, every scenario additionally writes a machine-readable
+// BENCH_<scenario>.json (series rows plus config) under -json-dir, so the
+// perf trajectory is recorded per PR.
 //
 // Usage:
 //
-//	benchfig [-n N] [-workers W] [-side PX] [fig6|fig7|fig8|fig9|fig10|readers|tql|ingest|ablations|all]
+//	benchfig [-n N] [-workers W] [-side PX] [-json [-json-dir DIR]] \
+//	         [fig6|fig7|fig8|fig9|fig10|readers|tql|ingest|train|ablations|all]
 package main
 
 import (
@@ -29,6 +36,8 @@ func main() {
 	workers := flag.Int("workers", 8, "loader/ingest parallelism")
 	side := flag.Int("side", 0, "override synthetic image edge length (0 = figure default)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonOut := flag.Bool("json", false, "write BENCH_<scenario>.json with the measured series")
+	jsonDir := flag.String("json-dir", ".", "directory for -json output")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -45,6 +54,7 @@ func main() {
 		{"readers", 384, bench.ConcurrentReaders},
 		{"tql", 384, bench.TQLScan},
 		{"ingest", 384, bench.IngestThroughput},
+		{"train", 384, bench.TrainStream},
 	}
 	ablations := []runner{
 		{"ablation-chunksize", 400, bench.AblationChunkSize},
@@ -70,8 +80,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Print(res.Format())
-		fmt.Printf("  (completed in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (completed in %s)\n\n", elapsed.Round(time.Millisecond))
+		if *jsonOut {
+			path, err := res.WriteJSON(*jsonDir, cfg, elapsed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing json: %v\n", r.name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s\n\n", path)
+		}
 	}
 	for _, r := range runners {
 		if want["all"] || want[r.name] {

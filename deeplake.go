@@ -34,7 +34,7 @@
 //
 // The dataloader layers the same idea over decoded chunks: its chunk cache
 // coalesces concurrent fetch+decode of one chunk across workers, and a
-// readahead scheduler walks the sampler's visit order a configurable number
+// readahead scheduler walks the chunk visit order a configurable number
 // of chunks ahead (LoaderOptions.Readahead) so origin latency overlaps with
 // decode and transform work. Run
 //
@@ -42,6 +42,33 @@
 //
 // to measure the aggregate throughput of 1/4/16 concurrent readers sharing
 // one cache over simulated S3, and the hot-chunk coalescing guarantee.
+//
+// # The chunk-aligned streaming dataloader
+//
+// The training read path (§4.6) is a chunk-aligned pipeline on the scan
+// machinery. Each epoch is planned before any worker starts: the primary
+// tensor's chunk visit order is shuffled (chunk-granular shuffling, §3.5),
+// optionally sharded disjointly across simulated nodes
+// (LoaderOptions{Rank, WorldSize} — every rank uses the same Seed), and the
+// delivery order is fixed by spilling rows through a bounded shuffle
+// buffer. Workers then own chunk-aligned jobs and drain each chunk through
+// reused scan readers backed by the loader's chunk cache, so a chunk is
+// fetched and decoded exactly once per epoch per rank however many rows,
+// columns or workers touch it — and because delivery order is precomputed,
+// the batch stream is byte-identical for a fixed seed at any worker count.
+// LoaderOptions.Epochs streams several epochs through one Batches call with
+// per-epoch reshuffling; batches never straddle an epoch boundary and carry
+// their Batch.Epoch label. A worker failure always surfaces through
+// Loader.Err after the channel closes, deterministically for a
+// deterministic fault. Run
+//
+//	go run ./cmd/benchfig train
+//
+// to measure the end-to-end train loop — a simulated GPU streaming from
+// simulated S3 at 1/4/16 workers and 4 rank shards against the TFRecord
+// and WebDataset read paths — with the decode-once and batch-determinism
+// contracts enforced by the runner (add -json for a machine-readable
+// BENCH_train.json).
 //
 // # The parallel TQL scan engine
 //
@@ -127,11 +154,14 @@ type (
 	// Resolver fetches linked-tensor URLs (§4.5).
 	Resolver = view.Resolver
 
-	// Loader streams batches from a view (§4.6).
+	// Loader streams batches from a view (§4.6) on the chunk-aligned
+	// pipeline: chunk-granular shuffling, distributed sharding
+	// (Rank/WorldSize), multi-epoch streaming, and worker-count-
+	// independent batch bytes.
 	Loader = dataloader.Loader
 	// LoaderOptions configures a Loader.
 	LoaderOptions = dataloader.Options
-	// Batch is one collated batch.
+	// Batch is one collated batch (Epoch labels the epoch it belongs to).
 	Batch = dataloader.Batch
 
 	// Provider is the pluggable storage contract (§3.6).

@@ -8,21 +8,25 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Row is one measured series point.
 type Row struct {
 	// Name labels the system/configuration.
-	Name string
+	Name string `json:"name"`
 	// Value is the measurement in Unit.
-	Value float64
+	Value float64 `json:"value"`
 	// Unit is the measurement unit ("s", "img/s", "%", ...).
-	Unit string
+	Unit string `json:"unit"`
 	// Extra carries secondary measurements for the table.
-	Extra string
+	Extra string `json:"extra,omitempty"`
 }
 
 // Result is one regenerated figure.
@@ -79,6 +83,46 @@ func (r *Result) Value(name string) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Report is the machine-readable form of one scenario run, written by
+// cmd/benchfig -json as BENCH_<scenario>.json so the perf trajectory is
+// recorded per PR.
+type Report struct {
+	ID         string   `json:"id"`
+	Title      string   `json:"title"`
+	Better     string   `json:"better"`
+	N          int      `json:"n"`
+	Workers    int      `json:"workers"`
+	Seed       int64    `json:"seed"`
+	ElapsedSec float64  `json:"elapsed_sec"`
+	Rows       []Row    `json:"rows"`
+	Notes      []string `json:"notes,omitempty"`
+}
+
+// WriteJSON writes the result as BENCH_<id>.json under dir (created if
+// missing) and returns the path.
+func (r *Result) WriteJSON(dir string, cfg Config, elapsed time.Duration) (string, error) {
+	rep := Report{
+		ID: r.ID, Title: r.Title, Better: r.Better,
+		N: cfg.N, Workers: cfg.Workers, Seed: cfg.Seed,
+		ElapsedSec: elapsed.Seconds(),
+		Rows:       r.Rows, Notes: r.Notes,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	path := filepath.Join(dir, "BENCH_"+r.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // Config scales an experiment.

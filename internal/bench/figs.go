@@ -15,7 +15,6 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/tensor"
-	"repro/internal/view"
 	"repro/internal/workload"
 )
 
@@ -529,18 +528,15 @@ func Fig10DistributedCLIP(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Stripe rows across GPUs and train the fleet.
+	// Shard the chunk visit order across GPUs (Rank/WorldSize: disjoint
+	// chunk shards under one shared seed) and train the fleet.
 	gpus := make([]gpusim.GPU, numGPUs)
 	sources := make([]gpusim.BatchSource, numGPUs)
-	full := view.All(ds)
 	for g := 0; g < numGPUs; g++ {
 		gpus[g] = gpusim.GPU{ComputePerBatch: 600 * time.Millisecond, TimeScale: 10}
-		v, err := view.Contiguous(full, g, numGPUs)
-		if err != nil {
-			return nil, err
-		}
-		sources[g] = dataloader.New(v, dataloader.Options{
-			BatchSize: 8, Workers: 4, Shuffle: true, Seed: int64(g), Prefetch: 8,
+		sources[g] = dataloader.ForDataset(ds, dataloader.Options{
+			BatchSize: 8, Workers: 4, Shuffle: true, Seed: cfg.Seed, Prefetch: 8,
+			Rank: g, WorldSize: numGPUs,
 		})
 	}
 	start := time.Now()

@@ -2,15 +2,15 @@ package core
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/chunk"
 	"repro/internal/tensor"
 )
 
 // ChunkSpan is one chunk's contiguous range of sample indices, [First, Last]
-// inclusive. The TQL scan engine partitions a query's row space along these
-// boundaries so concurrent workers touch disjoint chunk sets.
+// inclusive. The TQL scan engine and the streaming dataloader partition a
+// row space along these boundaries so concurrent workers touch disjoint
+// chunk sets.
 type ChunkSpan struct {
 	First, Last uint64
 	ChunkID     uint64
@@ -35,58 +35,108 @@ func (t *Tensor) ChunkSpans() []ChunkSpan {
 	return out
 }
 
+// ChunkFetch is a pluggable fetch+decode source for a ScanReader: given a
+// chunk id it returns the chunk's stored samples. The streaming dataloader
+// passes its decoded-chunk cache here, so the reader's chunk loads coalesce
+// with other workers and the readahead scheduler instead of going straight
+// to the tensor's read path.
+type ChunkFetch func(ctx context.Context, chunkID uint64) ([]chunk.Sample, error)
+
 // ScanReader reads samples of one tensor with chunk-granular reuse: walking
 // rows in ascending order fetches and decodes each chunk once instead of
-// once per sample. The fetch itself goes through the provider chain, so
-// concurrent readers pulling the same chunk still coalesce into one origin
-// Get. A ScanReader is NOT safe for concurrent use; each scan worker owns
-// one per tensor.
+// once per sample. Without a ChunkFetch the fetch goes through the provider
+// chain, so concurrent readers pulling the same chunk still coalesce into
+// one origin Get. A ScanReader is NOT safe for concurrent use; each scan or
+// loader worker owns one per tensor.
 type ScanReader struct {
 	t       *Tensor
+	fetch   ChunkFetch
 	valid   bool
 	chunkID uint64
 	samples []chunk.Sample
 }
 
-// NewScanReader returns a reader with an empty chunk slot.
+// NewScanReader returns a reader with an empty chunk slot whose fetches use
+// the tensor's direct read path.
 func (t *Tensor) NewScanReader() *ScanReader { return &ScanReader{t: t} }
 
-// At returns sample idx like Tensor.At, but keeps the decoded chunk of the
-// previous call so sequential reads within one chunk pay a single
-// fetch+decode. Sequence, tiled and write-buffered samples fall back to the
-// direct per-sample path.
-func (r *ScanReader) At(ctx context.Context, idx uint64) (*tensor.NDArray, error) {
+// NewScanReaderWith returns a reader whose chunk fetches are served by fetch
+// (e.g. the dataloader's decoded-chunk cache) instead of the tensor's direct
+// read path.
+func (t *Tensor) NewScanReaderWith(fetch ChunkFetch) *ScanReader {
+	return &ScanReader{t: t, fetch: fetch}
+}
+
+// locate resolves idx to chunk coordinates under the read locks, reporting
+// fallback=true for samples the chunk-granular path cannot serve: sequence
+// rows, tiled samples, and rows still in the write buffer.
+func (r *ScanReader) locate(idx uint64) (chunkID uint64, local int, fallback bool, err error) {
 	t := r.t
 	t.ds.mu.RLock()
 	defer t.ds.mu.RUnlock()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.spec.Sequence {
-		return t.atLocked(ctx, idx)
+		return 0, 0, true, nil
 	}
 	if _, tiled := t.tileEnc.Get(idx); tiled {
-		return t.atLocked(ctx, idx)
+		return 0, 0, true, nil
 	}
-	chunkID, local, err := t.chunkEnc.Lookup(idx)
+	chunkID, local, err = t.chunkEnc.Lookup(idx)
 	if err != nil {
-		return nil, err
+		return 0, 0, false, err
 	}
 	if t.builder.Len() > 0 && chunkID == t.pendingID {
-		return t.atLocked(ctx, idx)
+		return 0, 0, true, nil
+	}
+	return chunkID, local, false, nil
+}
+
+// StoredAt returns the stored (still media-encoded) sample idx, decoding the
+// containing chunk once and reusing it across calls. ok=false means the
+// sample needs the tensor's direct read path (sequences, tiles,
+// write-buffered rows); callers fall back to Tensor.At or RawAt. The chunk
+// load itself runs outside the tensor locks, so a ChunkFetch may re-enter
+// tensor read methods (the dataloader's cache calls ReadChunkSamples).
+func (r *ScanReader) StoredAt(ctx context.Context, idx uint64) (chunk.Sample, bool, error) {
+	chunkID, local, fallback, err := r.locate(idx)
+	if err != nil {
+		return chunk.Sample{}, false, err
+	}
+	if fallback {
+		return chunk.Sample{}, false, nil
 	}
 	if !r.valid || r.chunkID != chunkID {
-		raw, err := t.readChunk(ctx, chunkID)
-		if err != nil {
-			return nil, err
+		var samples []chunk.Sample
+		if r.fetch != nil {
+			samples, err = r.fetch(ctx, chunkID)
+		} else {
+			samples, err = r.t.ReadChunkSamples(ctx, chunkID)
 		}
-		samples, err := chunk.Decode(raw)
 		if err != nil {
-			return nil, err
+			return chunk.Sample{}, false, err
 		}
 		r.chunkID, r.samples, r.valid = chunkID, samples, true
 	}
 	if local >= len(r.samples) {
-		return nil, fmt.Errorf("core: sample %d beyond chunk %d (%d samples)", local, r.chunkID, len(r.samples))
+		// Tiled samples register under their first tile chunk; the direct
+		// read path reassembles them.
+		return chunk.Sample{}, false, nil
 	}
-	return t.decodeSample(r.samples[local])
+	return r.samples[local], true, nil
+}
+
+// At returns sample idx like Tensor.At, but keeps the decoded chunk of the
+// previous call so sequential reads within one chunk pay a single
+// fetch+decode. Sequence, tiled and write-buffered samples fall back to the
+// direct per-sample path.
+func (r *ScanReader) At(ctx context.Context, idx uint64) (*tensor.NDArray, error) {
+	s, ok, err := r.StoredAt(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return r.t.At(ctx, idx)
+	}
+	return r.t.decodeSample(s)
 }

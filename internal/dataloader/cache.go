@@ -27,7 +27,7 @@ type chunkCache struct {
 	order   *list.List // front = most recently used
 	used    int64
 
-	hits, misses, coalesced int64
+	hits, misses, coalesced, decodes int64
 }
 
 type cacheKey struct {
@@ -67,6 +67,9 @@ func (c *chunkCache) get(ctx context.Context, t *core.Tensor, chunkID uint64) ([
 			if err != nil {
 				return nil, err
 			}
+			c.mu.Lock()
+			c.decodes++
+			c.mu.Unlock()
 			c.admit(key, samples)
 			return samples, nil
 		})
@@ -131,4 +134,13 @@ func (c *chunkCache) coalescedCount() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.coalesced
+}
+
+// decodeCount reports how many chunk fetch+decodes actually ran; the
+// decode-once contract bounds it by the distinct (tensor, chunk) pairs
+// visited per epoch.
+func (c *chunkCache) decodeCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decodes
 }

@@ -1,29 +1,38 @@
-// Package dataloader implements the streaming dataloader of §4.6: parallel
-// chunk fetching, per-worker decompression and user transforms, collation
-// into batches, and bounded prefetching — delivering data fast enough that
-// the (simulated) accelerator, not IO, is the bottleneck.
+// Package dataloader implements the streaming dataloader of §4.6 as a
+// chunk-aligned pipeline on the scan machinery: parallel chunk fetching,
+// per-worker chunk-granular decode and user transforms, collation into
+// batches, and bounded prefetching — delivering data fast enough that the
+// (simulated) accelerator, not IO, is the bottleneck.
 //
 // The pipeline is:
 //
-//	sampler -> readahead scheduler ┐
-//	sampler -> fetch+decode+transform workers -> reorder -> collate -> Batches()
+//	epoch plans -> readahead scheduler ┐
+//	epoch plans -> chunk jobs -> fetch+decode+transform workers -> reorder -> collate -> Batches()
 //
-// Chunks are fetched once into a byte-budgeted buffer cache regardless of
-// how many samples or workers need them — concurrent fetches of the same
-// chunk are coalesced through a singleflight layer — and a readahead
-// scheduler walks the sampler's visit order a few chunks ahead of the
+// The sampler precomputes, per epoch, a chunk visit order (shuffled and
+// sharded across Rank/WorldSize) and a delivery order (rows spilled through
+// a bounded shuffle buffer). Workers own whole chunk jobs: each drains one
+// chunk's rows through reused core.ScanReaders backed by a byte-budgeted
+// chunk cache, so a chunk is fetched and decoded exactly once per epoch per
+// rank no matter how many rows, columns or workers touch it — concurrent
+// fetches of the same chunk coalesce through a singleflight layer — and a
+// readahead scheduler walks the visit order a few chunks ahead of the
 // workers so fetch latency overlaps with decode. Media decoding runs inside
 // the worker pool (the Go analogue of the paper's per-process C++ decode
-// that avoids the Python GIL).
+// that avoids the Python GIL). Because the delivery order is fixed before
+// any worker starts, the batch stream is byte-identical for a given seed at
+// any worker count.
 package dataloader
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/tensor"
 	"repro/internal/view"
@@ -40,11 +49,13 @@ type Options struct {
 	// Fields restricts the loaded columns; nil loads every view column.
 	// Loading fewer tensors streams fewer chunks (§3.1 partial access).
 	Fields []string
-	// Shuffle enables chunk-aware shuffled streaming (§3.5).
+	// Shuffle enables chunk-granular shuffled streaming (§3.5): the chunk
+	// visit order is randomized, then rows spill through a bounded buffer.
 	Shuffle bool
 	// ShuffleBuffer is the shuffle buffer size in samples (default 2048).
 	ShuffleBuffer int
-	// Seed makes shuffling reproducible.
+	// Seed makes shuffling reproducible. Batches are byte-identical for a
+	// fixed seed at any worker count.
 	Seed int64
 	// Workers sets the fetch/decode/transform worker count (default
 	// GOMAXPROCS).
@@ -54,20 +65,34 @@ type Options struct {
 	Prefetch int
 	// Transform is applied per sample in the worker pool.
 	Transform Transform
-	// DropLast drops a trailing partial batch.
+	// DropLast drops each epoch's trailing partial batch.
 	DropLast bool
 	// MemoryBudget caps the chunk buffer cache in bytes (default 256MB).
 	// This is the loader's "efficient resource allocation" bound (§4.6).
 	MemoryBudget int64
 	// Readahead is how many chunks the prefetch scheduler stays ahead of
-	// the workers along the sampler's visit order (default 4). Negative
+	// the workers along the chunk visit order (default 4). Negative
 	// disables readahead. Prefetches coalesce with worker fetches through
 	// the chunk cache's singleflight layer, so no chunk is read twice.
 	Readahead int
-	// Decode controls media decoding of sample-compressed tensors.
-	// When false, raw stored bytes are exposed as 1-d uint8 arrays
-	// (useful for byte-throughput benchmarks). Default true.
+	// RawBytes controls media decoding of sample-compressed tensors.
+	// When true, raw stored bytes are exposed as 1-d uint8 arrays
+	// (useful for byte-throughput benchmarks). Default false (decode).
 	RawBytes bool
+	// Rank and WorldSize shard each epoch's chunk visit order disjointly
+	// across simulated training nodes (§6.5): rank r of world w owns
+	// chunks r, r+w, r+2w, ... of the (shuffled) order. Every rank must
+	// use the same Seed; the rank shards are then disjoint and together
+	// cover every row. When the dataset has fewer chunks than ranks, the
+	// shards degrade to row striding so no node starves (coverage stays
+	// disjoint and complete). WorldSize 0 or 1 means a single node.
+	Rank      int
+	WorldSize int
+	// Epochs streams this many epochs through one Batches call (default
+	// 1). Each epoch reshuffles the chunk visit order with a reseeded rng
+	// (derived from Seed and the epoch number), and batches never straddle
+	// an epoch boundary.
+	Epochs int
 }
 
 func (o Options) withDefaults() Options {
@@ -89,13 +114,22 @@ func (o Options) withDefaults() Options {
 	if o.Readahead == 0 {
 		o.Readahead = 4
 	}
+	if o.WorldSize <= 0 {
+		o.WorldSize = 1
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 1
+	}
 	return o
 }
 
 // Batch is one collated batch.
 type Batch struct {
-	// Index is the batch sequence number, starting at zero.
+	// Index is the batch sequence number, starting at zero and running
+	// across epochs.
 	Index int
+	// Epoch is the zero-based epoch this batch belongs to.
+	Epoch int
 	// Samples holds the per-sample column maps, in order.
 	Samples []map[string]*tensor.NDArray
 	// Stacked holds, per column, samples stacked along a new leading
@@ -125,7 +159,11 @@ func ForDataset(ds *core.Dataset, opts Options) *Loader {
 	return New(view.All(ds), opts)
 }
 
-// Err returns the first pipeline error once Batches' channel is closed.
+// Err returns the first pipeline error once Batches' channel is closed. A
+// worker failure always surfaces here (never silently truncates the
+// stream), and when the pipeline fails on a sample it is the error of the
+// earliest delivery position that aborted the epoch — not whatever
+// cancellation fallout other workers produced while shutting down.
 func (l *Loader) Err() error {
 	if e, ok := l.err.Load().(error); ok {
 		return e
@@ -142,6 +180,11 @@ func (l *Loader) CacheStats() (hits, misses int64) { return l.cache.stats() }
 // CacheCoalesced reports how many chunk fetches were absorbed into another
 // in-flight fetch of the same chunk (workers or the readahead scheduler).
 func (l *Loader) CacheCoalesced() int64 { return l.cache.coalescedCount() }
+
+// CacheDecodes reports how many chunk fetch+decodes actually reached the
+// tensor read path. The chunk-decode-once contract bounds this by the
+// number of distinct (tensor, chunk) pairs visited per epoch.
+func (l *Loader) CacheDecodes() int64 { return l.cache.decodeCount() }
 
 // columns resolves the output column subset.
 func (l *Loader) columns() ([]view.Column, error) {
@@ -166,89 +209,170 @@ func (l *Loader) columns() ([]view.Column, error) {
 	return out, nil
 }
 
-// primaryColumn picks the column whose chunk layout drives shuffling: the
-// first identity column (typically the large media tensor).
+// primaryColumn picks the column whose chunk layout drives shuffling,
+// sharding and readahead: the first stored identity column (typically the
+// large media tensor).
 func primaryColumn(cols []view.Column) string {
 	for _, c := range cols {
-		if c.Source != "" {
+		if c.Stored() {
 			return c.Source
 		}
 	}
 	return ""
 }
 
-type job struct {
-	seq int
-	row int
-}
-
 type result struct {
 	seq    int
 	sample map[string]*tensor.NDArray
-	err    error
+}
+
+// errSink resolves which failure an epoch reports. Workers record errors
+// with the delivery sequence of the failing row; the sink keeps the error
+// of the earliest delivery position and never lets cancellation fallout
+// (other workers aborting after the pipeline context is cancelled) displace
+// a real failure — so Err() is deterministic for a deterministic fault.
+type errSink struct {
+	mu  sync.Mutex
+	set bool
+	seq int
+	err error
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (s *errSink) record(seq int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case !s.set:
+		s.set, s.seq, s.err = true, seq, err
+	case isCancel(err):
+		// Shutdown fallout never displaces the recorded failure.
+	case isCancel(s.err):
+		s.seq, s.err = seq, err
+	case seq < s.seq:
+		s.seq, s.err = seq, err
+	}
+}
+
+// barrier returns the delivery sequence of the recorded failure; rows at or
+// past it are never delivered.
+func (s *errSink) barrier() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq, s.set
+}
+
+func (s *errSink) get() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // Batches starts the pipeline and returns the batch channel. The channel
-// closes when the epoch completes, the context is cancelled, or an error
-// occurs (check Err afterwards). Batches may only be called once per
-// Loader.
+// closes when every requested epoch completes, the context is cancelled, or
+// an error occurs (check Err afterwards). Batches may only be called once
+// per Loader.
 func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 	out := make(chan Batch, l.opts.Prefetch)
 	cols, err := l.columns()
+	if err == nil && (l.opts.Rank < 0 || l.opts.Rank >= l.opts.WorldSize) {
+		err = fmt.Errorf("dataloader: rank %d out of range for world size %d", l.opts.Rank, l.opts.WorldSize)
+	}
 	if err != nil {
 		l.err.Store(err)
 		close(out)
 		return out
 	}
 	ctx, cancel := context.WithCancel(ctx)
-	s := newSampler(l.v, l.opts.Shuffle, l.opts.ShuffleBuffer, l.opts.Seed, primaryColumn(cols))
+	primary := primaryColumn(cols)
 
-	jobs := make(chan job, l.opts.Workers*2)
-	results := make(chan result, l.opts.Workers*2)
+	// Group rows by primary chunk once (the partition never changes), then
+	// walk every epoch's shuffled, sharded chunk visit order to fix the
+	// epoch row counts and ordinal bases. Only these O(Epochs) integers
+	// are retained: the skeletons themselves are deterministic to rebuild,
+	// so the feeder and the readahead scheduler regenerate each epoch's
+	// shard on demand and the O(rows) plans live one epoch at a time.
+	groups := chunkGroups(l.v, primary)
+	epochEnd := make([]int, l.opts.Epochs)
+	ordBase := make([]int, l.opts.Epochs)
+	totalRows, totalOrds := 0, 0
+	for e := range epochEnd {
+		shard := buildShard(groups, l.opts, e)
+		ordBase[e] = totalOrds
+		totalOrds += len(shard.groups)
+		totalRows += shard.rows
+		epochEnd[e] = totalRows
+	}
+
+	jobs := make(chan chunkJob, l.opts.Workers*2)
+	results := make(chan result, l.opts.Workers*4)
+	sink := &errSink{}
 
 	// Readahead scheduler: prefetch upcoming chunks into the chunk cache,
-	// staying at most Readahead chunks ahead of the workers.
+	// staying at most Readahead distinct chunks ahead of the workers along
+	// the chunk visit order.
 	var prog *raProgress
-	var plan *prefetchPlan
 	if l.opts.Readahead > 0 {
-		plan = buildPrefetchPlan(l.v, cols, s.order)
-	}
-	if plan != nil {
-		prog = newRAProgress()
-		go func() {
-			<-ctx.Done()
-			prog.stop()
-		}()
-		go runReadahead(ctx, l.cache, plan, prog, l.opts.Readahead)
+		if t := readaheadDriver(l.v, primary, groups); t != nil {
+			prog = newRAProgress()
+			go func() {
+				<-ctx.Done()
+				prog.stop()
+			}()
+			go runReadahead(ctx, l.cache, t, groups, l.opts, prog, l.opts.Readahead)
+		}
 	}
 
-	// Job feeder.
+	// Job feeder: chunk jobs in visit order, epochs back to back, with
+	// sequences and chunk ordinals renumbered into the global stream.
 	go func() {
 		defer close(jobs)
-		for seq, row := range s.order {
-			select {
-			case jobs <- job{seq: seq, row: row}:
-			case <-ctx.Done():
-				return
+		seqBase := 0
+		for e := 0; e < l.opts.Epochs; e++ {
+			p := buildPlan(l.v, buildShard(groups, l.opts, e), l.opts, e)
+			for _, cj := range p.jobs {
+				cj.ord += ordBase[e]
+				for ri := range cj.rows {
+					cj.rows[ri].seq += seqBase
+				}
+				select {
+				case jobs <- cj:
+				case <-ctx.Done():
+					return
+				}
 			}
+			seqBase += p.rows
 		}
 	}()
 
-	// Workers: fetch (through the chunk cache), decode, transform.
+	// Workers: each owns whole chunk jobs and drains them through reused
+	// per-tensor ScanReaders backed by the shared chunk cache, so one job
+	// fetches and decodes its chunk exactly once.
 	var wg sync.WaitGroup
 	for w := 0; w < l.opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
+			rl := newRowLoader(l, cols)
+			for cj := range jobs {
 				if prog != nil {
-					prog.advance(plan.rowOrd[j.seq])
+					prog.advance(cj.ord)
 				}
-				sample, err := l.loadSample(ctx, cols, j.row)
-				select {
-				case results <- result{seq: j.seq, sample: sample, err: err}:
-				case <-ctx.Done():
-					return
+				for _, rj := range cj.rows {
+					sample, err := rl.load(ctx, rj)
+					if err != nil {
+						sink.record(rj.seq, err)
+						cancel()
+						return
+					}
+					select {
+					case results <- result{seq: rj.seq, sample: sample}:
+					case <-ctx.Done():
+						return
+					}
 				}
 			}
 		}()
@@ -258,12 +382,28 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 		close(results)
 	}()
 
-	// Reorder + collate + emit.
+	// Reorder + collate + emit: rows leave in the precomputed delivery
+	// order regardless of which worker decoded them, and never at or past
+	// a recorded failure's position.
 	go func() {
 		defer cancel()
 		defer close(out)
-		pending := map[int]result{}
+		// Finalize the epoch error before the channel closes (LIFO: this
+		// runs first), whichever path unwound the stage: a recorded worker
+		// failure always wins over cancellation fallout, so Err() is
+		// deterministic once the consumer sees the close.
+		defer func() {
+			if err := sink.get(); err != nil {
+				l.err.Store(err)
+				return
+			}
+			if ctx.Err() != nil {
+				l.err.Store(ctx.Err())
+			}
+		}()
+		pending := map[int]map[string]*tensor.NDArray{}
 		next := 0
+		epoch := 0
 		batchIdx := 0
 		var cur []map[string]*tensor.NDArray
 		flush := func(force bool) bool {
@@ -277,7 +417,7 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 				cur = nil
 				return true
 			}
-			b := Batch{Index: batchIdx, Samples: cur, Stacked: collate(cur)}
+			b := Batch{Index: batchIdx, Epoch: epoch, Samples: cur, Stacked: collate(cur)}
 			batchIdx++
 			cur = nil
 			select {
@@ -288,93 +428,116 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 			}
 		}
 		for r := range results {
-			pending[r.seq] = r
+			if bseq, bad := sink.barrier(); bad && r.seq >= bseq {
+				continue
+			}
+			pending[r.seq] = r.sample
 			for {
-				rr, ok := pending[next]
+				if bseq, bad := sink.barrier(); bad && next >= bseq {
+					break
+				}
+				s, ok := pending[next]
 				if !ok {
 					break
 				}
 				delete(pending, next)
-				next++
-				if rr.err != nil {
-					l.err.Store(rr.err)
-					return
+				// Skip past epochs the rank's shard left empty.
+				for epoch+1 < len(epochEnd) && next >= epochEnd[epoch] {
+					epoch++
 				}
-				cur = append(cur, rr.sample)
+				next++
+				cur = append(cur, s)
 				atomic.AddInt64(&l.rows, 1)
-				if len(cur) == l.opts.BatchSize {
+				if next == epochEnd[epoch] {
+					if !flush(true) {
+						return
+					}
+				} else if len(cur) == l.opts.BatchSize {
 					if !flush(false) {
 						return
 					}
 				}
 			}
 		}
-		if ctx.Err() != nil && l.err.Load() == nil {
-			l.err.Store(ctx.Err())
-		}
-		flush(true)
 	}()
 	return out
 }
 
-// loadSample materializes one row of the selected columns.
-func (l *Loader) loadSample(ctx context.Context, cols []view.Column, row int) (map[string]*tensor.NDArray, error) {
-	src, err := l.v.SourceRow(row)
-	if err != nil {
-		return nil, err
+// rowLoader is one worker's read state: a ScanReader per stored column,
+// backed by the shared chunk cache, so the rows of one chunk job decode
+// their chunk once however many rows and columns it covers, and chunks
+// shared between workers are still fetched once (singleflight).
+type rowLoader struct {
+	l       *Loader
+	cols    []view.Column
+	readers map[string]*core.ScanReader
+}
+
+func newRowLoader(l *Loader, cols []view.Column) *rowLoader {
+	return &rowLoader{l: l, cols: cols, readers: map[string]*core.ScanReader{}}
+}
+
+func (w *rowLoader) reader(t *core.Tensor) *core.ScanReader {
+	r, ok := w.readers[t.Name()]
+	if !ok {
+		r = t.NewScanReaderWith(func(ctx context.Context, chunkID uint64) ([]chunk.Sample, error) {
+			return w.l.cache.get(ctx, t, chunkID)
+		})
+		w.readers[t.Name()] = r
 	}
-	sample := make(map[string]*tensor.NDArray, len(cols))
-	for _, c := range cols {
+	return r
+}
+
+// load materializes one row of the selected columns.
+func (w *rowLoader) load(ctx context.Context, rj rowJob) (map[string]*tensor.NDArray, error) {
+	sample := make(map[string]*tensor.NDArray, len(w.cols))
+	for _, c := range w.cols {
 		var arr *tensor.NDArray
+		var err error
 		switch {
 		case c.Eval != nil:
-			arr, err = c.Eval(ctx, src)
+			arr, err = c.Eval(ctx, rj.src)
 		case c.Source != "":
-			arr, err = l.loadStored(ctx, c.Source, src)
+			arr, err = w.loadStored(ctx, c.Source, rj.src)
 		default:
 			err = fmt.Errorf("dataloader: column %q has neither source nor eval", c.Name)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataloader: row %d column %q: %w", row, c.Name, err)
+			return nil, fmt.Errorf("dataloader: row %d column %q: %w", rj.row, c.Name, err)
 		}
 		sample[c.Name] = arr
 	}
-	if l.opts.Transform != nil {
-		out, err := l.opts.Transform(sample)
+	if w.l.opts.Transform != nil {
+		out, err := w.l.opts.Transform(sample)
 		if err != nil {
-			return nil, fmt.Errorf("dataloader: transform at row %d: %w", row, err)
+			return nil, fmt.Errorf("dataloader: transform at row %d: %w", rj.row, err)
 		}
 		sample = out
 	}
 	return sample, nil
 }
 
-// loadStored reads one stored sample through the chunk cache and decodes it
-// in this worker.
-func (l *Loader) loadStored(ctx context.Context, tensorName string, src uint64) (*tensor.NDArray, error) {
-	t := l.v.Dataset().Tensor(tensorName)
+// loadStored reads one stored sample through the worker's ScanReader and
+// decodes it in this worker.
+func (w *rowLoader) loadStored(ctx context.Context, tensorName string, src uint64) (*tensor.NDArray, error) {
+	t := w.l.v.Dataset().Tensor(tensorName)
 	if t == nil {
 		return nil, fmt.Errorf("dataloader: unknown tensor %q", tensorName)
 	}
-	// Sequence/link/tiled samples take the tensor's own read path.
+	// Sequence/link samples take the tensor's own read path.
 	if t.Htype().Sequence || t.Htype().Link {
 		return t.At(ctx, src)
 	}
-	chunkID, local, err := t.ChunkOf(src)
+	s, ok, err := w.reader(t).StoredAt(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	samples, err := l.cache.get(ctx, t, chunkID)
-	if err != nil {
-		return nil, err
-	}
-	if local >= len(samples) {
-		// Tiled samples register under their first tile chunk; fall
-		// back to the tensor read path.
+	if !ok {
+		// Tiled or write-buffered samples fall back to the tensor read
+		// path, which reassembles them.
 		return t.At(ctx, src)
 	}
-	s := samples[local]
-	if l.opts.RawBytes {
+	if w.l.opts.RawBytes {
 		data := make([]byte, len(s.Data))
 		copy(data, s.Data)
 		return tensor.FromBytes(tensor.UInt8, []int{len(data)}, data)

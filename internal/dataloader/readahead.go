@@ -9,61 +9,36 @@ import (
 )
 
 // The readahead scheduler (§4.6 "fetches the next batch in advance") walks
-// the sampler's visit order ahead of the worker pool and pulls upcoming
-// chunks into the chunk cache, so by the time a worker reaches a row its
-// chunk is usually resident. It stays at most K distinct chunks ahead of the
-// chunk the workers are currently on, bounding memory the same way the
+// the epoch plans' chunk visit order ahead of the worker pool and pulls
+// upcoming chunks into the chunk cache, so by the time a worker takes a
+// chunk job its chunk is usually resident. It stays at most K chunks ahead
+// of the job the workers are currently on, bounding memory the same way the
 // cache's byte budget does, and its fetches coalesce with worker fetches
-// through the cache's singleflight layer — the chunk is still read only once.
+// through the cache's singleflight layer — the chunk is still read only
+// once.
 
-// prefetchPlan is the chunk itinerary derived from the sampler: the distinct
-// chunk IDs of the primary stored tensor in first-visit order, and each
-// sampler position's ordinal into that sequence.
-type prefetchPlan struct {
-	t      *core.Tensor
-	chunks []uint64
-	rowOrd []int
-}
-
-// buildPrefetchPlan resolves the sampler order to a chunk itinerary. It
-// returns nil when no column drives chunked reads (computed-only views,
-// sequence/link primaries), in which case readahead is a no-op.
-func buildPrefetchPlan(v *view.View, cols []view.Column, order []int) *prefetchPlan {
-	name := primaryColumn(cols)
-	if name == "" {
+// readaheadDriver resolves the tensor whose chunks the scheduler
+// prefetches. It returns nil when no column drives chunked reads
+// (computed-only views, sequence/link primaries, no chunk-aligned groups),
+// in which case readahead is a no-op.
+func readaheadDriver(v *view.View, primary string, groups []groupRef) *core.Tensor {
+	if primary == "" {
 		return nil
 	}
-	t := v.Dataset().Tensor(name)
+	t := v.Dataset().Tensor(primary)
 	if t == nil || t.Htype().Sequence || t.Htype().Link {
 		return nil
 	}
-	plan := &prefetchPlan{t: t, rowOrd: make([]int, len(order))}
-	seen := map[uint64]int{}
-	last := 0
-	for seq, row := range order {
-		ord := last
-		if src, err := v.SourceRow(row); err == nil {
-			if id, _, err := t.ChunkOf(src); err == nil {
-				o, ok := seen[id]
-				if !ok {
-					o = len(plan.chunks)
-					seen[id] = o
-					plan.chunks = append(plan.chunks, id)
-				}
-				ord = o
-			}
+	for _, g := range groups {
+		if g.chunk {
+			return t
 		}
-		plan.rowOrd[seq] = ord
-		last = ord
 	}
-	if len(plan.chunks) == 0 {
-		return nil
-	}
-	return plan
+	return nil
 }
 
-// raProgress tracks the highest chunk ordinal the workers have started on;
-// the scheduler blocks on it to stay within its lookahead window.
+// raProgress tracks the highest chunk-job ordinal the workers have started
+// on; the scheduler blocks on it to stay within its lookahead window.
 type raProgress struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -77,7 +52,7 @@ func newRAProgress() *raProgress {
 	return p
 }
 
-// advance records that a worker has started a row of the given chunk
+// advance records that a worker has started the chunk job with the given
 // ordinal.
 func (p *raProgress) advance(ord int) {
 	p.mu.Lock()
@@ -114,21 +89,33 @@ func (p *raProgress) stop() {
 	p.mu.Unlock()
 }
 
-// runReadahead prefetches chunk ord once the workers are within k chunks of
-// it. Fetch errors are ignored here: the worker that needs the chunk will
-// hit the same error on its own read path and report it with row context.
-func runReadahead(ctx context.Context, cache *chunkCache, plan *prefetchPlan, prog *raProgress, k int) {
-	for ord, id := range plan.chunks {
-		if !prog.waitUntil(ord-k) || ctx.Err() != nil {
-			return
+// runReadahead walks the epochs' chunk visit orders and prefetches each
+// chunk once the workers are within k distinct chunks of it. Each epoch's
+// shard skeleton is rebuilt on demand (buildShard is deterministic and
+// O(chunks)), so no cross-epoch itinerary is ever held in memory. Ordinals
+// count visit groups — sub-jobs of a split group share one — keeping the
+// lookahead window measured in chunks, and groups without a stored chunk
+// are skipped but still occupy their ordinal, so the scheduler stays
+// aligned with the worker frontier. Fetch errors are ignored here: the
+// worker that needs the chunk will hit the same error on its own read path
+// and report it with row context.
+func runReadahead(ctx context.Context, cache *chunkCache, t *core.Tensor, groups []groupRef, o Options, prog *raProgress, k int) {
+	ord := 0
+	for e := 0; e < o.Epochs; e++ {
+		shard := buildShard(groups, o, e)
+		for _, g := range shard.groups {
+			if !prog.waitUntil(ord-k) || ctx.Err() != nil {
+				return
+			}
+			// Workers already started (or passed) this chunk: they
+			// fetched it themselves, and under budget pressure it may
+			// even have been consumed and evicted — refetching would
+			// waste origin bandwidth and evict entries workers still
+			// hold hot.
+			if g.chunk && ord > prog.current() {
+				_, _ = cache.get(ctx, t, g.key)
+			}
+			ord++
 		}
-		// Workers already started (or passed) this chunk: they fetched it
-		// themselves, and under budget pressure it may even have been
-		// consumed and evicted — refetching would waste origin bandwidth
-		// and evict entries workers still hold hot.
-		if ord <= prog.current() {
-			continue
-		}
-		_, _ = cache.get(ctx, plan.t, id)
 	}
 }

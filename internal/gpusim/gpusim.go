@@ -48,6 +48,9 @@ type Timeline struct {
 	// spent waiting for data.
 	ComputeTime time.Duration
 	StallTime   time.Duration
+	// FirstBatch is the simulated time the loader took to deliver its
+	// first batch (cold-start latency: no copy-everything-first phase).
+	FirstBatch time.Duration
 	// Wall is the real elapsed time of the run.
 	Wall time.Duration
 }
@@ -59,6 +62,16 @@ func (t *Timeline) Utilization() float64 {
 		return 0
 	}
 	return float64(t.ComputeTime) / float64(total)
+}
+
+// IdleFraction is the fraction of the run the GPU spent starved for data —
+// the quantity Figures 9 and 10 minimize.
+func (t *Timeline) IdleFraction() float64 {
+	total := t.ComputeTime + t.StallTime
+	if total == 0 {
+		return 0
+	}
+	return float64(t.StallTime) / float64(total)
 }
 
 // RowsPerSec is the end-to-end training throughput in samples per second of
@@ -117,6 +130,9 @@ func (g GPU) Train(ctx context.Context, l BatchSource, maxBatches int) *Timeline
 			break
 		}
 		stall := time.Since(waitStart)
+		if tl.Batches == 0 {
+			tl.FirstBatch = time.Duration(float64(time.Since(start)) * scale)
+		}
 		if computeWall > 0 {
 			time.Sleep(computeWall)
 		}

@@ -5,6 +5,13 @@ import "fmt"
 // Stripe partitions a view across a fleet of consumers: rank r of world w
 // receives rows r, r+w, r+2w, ... — the distributed-training sharding of
 // §6.5 where each of 16 GPUs streams its own slice of the dataset.
+//
+// Stripe and Contiguous shard at the ROW level, before any loader exists;
+// the streaming dataloader's LoaderOptions{Rank, WorldSize} shards the
+// CHUNK visit order instead, which keeps each rank's fetches chunk-local
+// and reshuffles the shards every epoch. Prefer the loader-level sharding
+// for training fleets; these helpers remain for materializing per-node
+// subsets and for consumers outside the dataloader.
 func Stripe(v *View, rank, world int) (*View, error) {
 	if world <= 0 || rank < 0 || rank >= world {
 		return nil, fmt.Errorf("view: invalid stripe rank %d of world %d", rank, world)

@@ -30,6 +30,11 @@ type Column struct {
 	Eval func(ctx context.Context, row uint64) (*tensor.NDArray, error)
 }
 
+// Stored reports whether the column reads straight from a stored dataset
+// tensor — the columns whose chunk layout the streaming dataloader can
+// align fetches and shuffling to.
+func (c Column) Stored() bool { return c.Source != "" && c.Eval == nil }
+
 // View is an ordered selection of dataset rows with output columns.
 type View struct {
 	ds      *core.Dataset
