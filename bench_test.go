@@ -123,3 +123,13 @@ func BenchmarkIngestThroughput(b *testing.B) {
 func BenchmarkTrainStream(b *testing.B) {
 	runFigure(b, benchConfig(96, 0), bench.TrainStream)
 }
+
+// BenchmarkChaos measures the resilience layer: the train and ingest
+// workloads over a fault-injecting simulated S3 (seeded transient errors,
+// stalls, partial reads) behind the singleflight+retry chain. The runner
+// enforces byte-identical delivery and stored bytes versus the fault-free
+// runs, fetch-once accounting net of retries, and the one-extra-request
+// coalesced-fault contract.
+func BenchmarkChaos(b *testing.B) {
+	runFigure(b, benchConfig(96, 0), bench.Chaos)
+}

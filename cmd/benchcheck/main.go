@@ -1,0 +1,146 @@
+// Command benchcheck compares freshly measured BENCH_<scenario>.json reports
+// (written by cmd/benchfig -json) against checked-in baselines and fails when
+// any series row regressed beyond tolerance, so the perf trajectory the bench
+// scenarios record is enforced in CI rather than just archived.
+//
+// A row regresses when its value moves against the report's Better direction
+// by more than the tolerance fraction: for "higher" rows, current <
+// baseline*(1-tol); for "lower" rows, current > baseline*(1+tol). A row
+// present in the baseline but missing from the current report fails (a
+// silently dropped measurement is a regression of coverage); rows new in the
+// current report are reported but pass, pending a baseline refresh.
+//
+// Usage:
+//
+//	benchcheck [-baseline DIR] [-tolerance FRAC] [-tolerance-for id=FRAC]... \
+//	           BENCH_a.json [BENCH_b.json ...]
+//
+// Refresh baselines by re-running the same benchfig invocation CI uses with
+// -json-dir pointed at the baseline directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	baselineDir := flag.String("baseline", "ci/baselines", "directory holding baseline BENCH_<id>.json files")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed regression fraction")
+	perScenario := map[string]float64{}
+	flag.Func("tolerance-for", "per-scenario tolerance override, id=FRAC (repeatable)", func(s string) error {
+		id, frac, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want id=FRAC, got %q", s)
+		}
+		v, err := strconv.ParseFloat(frac, 64)
+		if err != nil {
+			return err
+		}
+		perScenario[id] = v
+		return nil
+	})
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no reports given")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		cur, err := readReport(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		basePath := filepath.Join(*baselineDir, "BENCH_"+cur.ID+".json")
+		base, err := readReport(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: no baseline (%v) — run benchfig -json -json-dir %s to create one\n",
+				path, err, *baselineDir)
+			failed = true
+			continue
+		}
+		tol := *tolerance
+		if v, ok := perScenario[cur.ID]; ok {
+			tol = v
+		}
+		if !check(cur, base, tol) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if rep.ID == "" {
+		return nil, fmt.Errorf("%s: report has no id", path)
+	}
+	return &rep, nil
+}
+
+// check compares one report against its baseline, printing a verdict per
+// row, and reports whether the scenario passed.
+func check(cur, base *bench.Report, tol float64) bool {
+	current := map[string]bench.Row{}
+	for _, row := range cur.Rows {
+		current[row.Name] = row
+	}
+	ok := true
+	fmt.Printf("== %s (better: %s, tolerance %.0f%%, baseline n=%d) ==\n", cur.ID, base.Better, tol*100, base.N)
+	for _, want := range base.Rows {
+		got, found := current[want.Name]
+		if !found {
+			fmt.Printf("  FAIL %-28s missing from current report (baseline %.3f %s)\n", want.Name, want.Value, want.Unit)
+			ok = false
+			continue
+		}
+		delete(current, want.Name)
+		if regressed(base.Better, got.Value, want.Value, tol) {
+			fmt.Printf("  FAIL %-28s %.3f %s vs baseline %.3f (%+.1f%%, %s is better)\n",
+				want.Name, got.Value, got.Unit, want.Value, pct(got.Value, want.Value), base.Better)
+			ok = false
+			continue
+		}
+		fmt.Printf("  ok   %-28s %.3f %s vs baseline %.3f (%+.1f%%)\n",
+			want.Name, got.Value, got.Unit, want.Value, pct(got.Value, want.Value))
+	}
+	for name, row := range current {
+		fmt.Printf("  new  %-28s %.3f %s (not in baseline; refresh baselines to gate it)\n", name, row.Value, row.Unit)
+	}
+	return ok
+}
+
+// regressed reports whether value moved against the better direction past
+// the tolerance fraction of the baseline.
+func regressed(better string, got, want, tol float64) bool {
+	if better == "lower" {
+		return got > want*(1+tol)
+	}
+	return got < want*(1-tol)
+}
+
+func pct(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return (got/want - 1) * 100
+}

@@ -55,6 +55,7 @@ func main() {
 		{"tql", 384, bench.TQLScan},
 		{"ingest", 384, bench.IngestThroughput},
 		{"train", 384, bench.TrainStream},
+		{"chaos", 384, bench.Chaos},
 	}
 	ablations := []runner{
 		{"ablation-chunksize", 400, bench.AblationChunkSize},

@@ -352,6 +352,22 @@ func WithCache(origin Provider, opts CacheOptions) *storage.LRU {
 	return storage.NewShardedLRU(origin, opts.Capacity, opts.Shards)
 }
 
+// RetryOptions configures the resilience layer of the provider chain:
+// attempts per operation, capped exponential backoff with deterministic
+// seeded jitter, a per-attempt timeout, and a lifetime retry budget.
+type RetryOptions = storage.RetryOptions
+
+// WithRetry wraps a provider so transient failures (storage.IsRetryable:
+// errors marked storage.ErrTransient, or the wrapper's own per-attempt
+// timeout firing) are re-attempted under capped exponential backoff.
+// Context cancellation and missing keys are never retried. Stack it below
+// WithCache — cache over retry over origin — so a miss coalesced across N
+// readers is retried once for all of them, and the cache's Stats() then
+// reports the retry count.
+func WithRetry(origin Provider, opts RetryOptions) *storage.Retry {
+	return storage.NewRetry(origin, opts)
+}
+
 // Array constructors.
 
 // NewArray allocates a zeroed array.

@@ -185,12 +185,13 @@ func TestArrayStoreWriteAmplification(t *testing.T) {
 	if err := (ArrayStore{ImagesPerChunk: 4}).Write(ctx, counting, samples); err != nil {
 		t.Fatal(err)
 	}
-	if counting.Puts < int64(len(samples)) {
-		t.Fatalf("puts = %d, expected >= one per sample (read-modify-write)", counting.Puts)
+	writes := counting.Snapshot()
+	if writes.Puts < int64(len(samples)) {
+		t.Fatalf("puts = %d, expected >= one per sample (read-modify-write)", writes.Puts)
 	}
 	payload := int64(len(samples) * len(samples[0].Data))
-	if counting.BytesWritten < 2*payload {
-		t.Fatalf("bytes written %d vs payload %d: amplification missing", counting.BytesWritten, payload)
+	if writes.BytesWritten < 2*payload {
+		t.Fatalf("bytes written %d vs payload %d: amplification missing", writes.BytesWritten, payload)
 	}
 }
 
@@ -215,17 +216,17 @@ func TestBetonRandomAccessUsesRanges(t *testing.T) {
 	if err := (Beton{}).Write(ctx, counting, samples); err != nil {
 		t.Fatal(err)
 	}
-	counting.Gets = 0
-	counting.RangeGets = 0
+	counting.Reset()
 	got := collect(t, Beton{}, counting, 4)
 	if len(got) != 16 {
 		t.Fatalf("%d samples", len(got))
 	}
-	if counting.Gets != 0 {
-		t.Fatalf("beton did %d full Gets; must use range reads", counting.Gets)
+	reads := counting.Snapshot()
+	if reads.Gets != 0 {
+		t.Fatalf("beton did %d full Gets; must use range reads", reads.Gets)
 	}
-	if counting.RangeGets < 16 {
-		t.Fatalf("range gets = %d", counting.RangeGets)
+	if reads.RangeGets < 16 {
+		t.Fatalf("range gets = %d", reads.RangeGets)
 	}
 }
 

@@ -37,8 +37,7 @@ func AblationChunkSize(ctx context.Context, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		counting.Gets = 0
-		counting.RangeGets = 0
+		counting.Reset()
 		n, dur, err := deepLakeEpochOpts(ctx, ds, cfg.Workers, false, true)
 		if err != nil {
 			return nil, err

@@ -38,8 +38,7 @@ func AblationCacheEpochs(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	for epoch := 1; epoch <= 2; epoch++ {
-		counting.Gets = 0
-		counting.RangeGets = 0
+		counting.Reset()
 		l := dataloader.ForDataset(ds, dataloader.Options{
 			BatchSize: 32, Workers: cfg.Workers, RawBytes: true,
 		})

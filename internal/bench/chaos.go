@@ -1,0 +1,411 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// chaosFlushRetries bounds both the pipeline's automatic redrive bursts and
+// the bench's own Flush retry loop during the faulty ingest phase.
+const chaosFlushRetries = 8
+
+// Chaos measures the resilience layer end to end: the same train and ingest
+// workloads as the headline scenarios, but running over a fault-injecting
+// simulated S3 (seeded transient errors, black-hole stalls, partial reads)
+// behind the canonical resilient chain (singleflight cache -> Retry ->
+// fault-injecting origin). Every row is gated on a correctness contract, not
+// just a throughput number:
+//
+//   - hot-chunk: one injected transient fault under a 16-way coalesced miss
+//     costs exactly ONE extra origin request — the flight leader retries on
+//     behalf of all waiters (the Retry-below-singleflight ordering).
+//   - train: an epoch over 5%-flaky S3 delivers a batch stream byte-identical
+//     to the fault-free epoch, with logical (net-of-retries) origin requests
+//     still exactly one per chunk.
+//   - ingest: a full ingest over a Put-faulty origin — parked chunk uploads
+//     redriven automatically by the flush pipeline under backoff — lands an
+//     object set byte-identical to the fault-free ingest.
+func Chaos(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults(384)
+	res := &Result{
+		ID:     "chaos",
+		Title:  fmt.Sprintf("train + ingest of %d samples over faulty simulated S3 (seeded transient errors, stalls, partial reads)", cfg.N),
+		Better: "lower",
+	}
+	res.Notes = append(res.Notes,
+		"chain: LRU/loader cache -> Retry (capped exp backoff, per-op timeout) -> Counting -> Faulty -> sim S3",
+		"every row asserts a recovery contract: byte-identical delivery, fetch-once net of retries, one extra request per coalesced fault")
+
+	if err := chaosHotChunk(ctx, cfg, res); err != nil {
+		return nil, err
+	}
+	if err := chaosTrain(ctx, cfg, res); err != nil {
+		return nil, err
+	}
+	if err := chaosIngest(ctx, cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// chaosHotChunk is the singleflight+retry litmus: 16 readers coalesce on one
+// cold chunk whose first origin Get is forced to fail transiently. The flight
+// leader must retry once on behalf of everyone — origin sees exactly two
+// Gets, no waiter sees an error, and the retry surfaces in the cache Stats.
+func chaosHotChunk(ctx context.Context, cfg Config, res *Result) error {
+	mem := storage.NewMemory()
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20)
+	if err := mem.Put(ctx, "hot/chunk", payload); err != nil {
+		return err
+	}
+	// MaxFaults 1 + GetErrRate 1: the first Get fails, everything after
+	// passes — the minimal reproducible fault.
+	faulty := storage.NewFaulty(mem, storage.FaultConfig{Seed: cfg.Seed, GetErrRate: 1, MaxFaults: 1})
+	attempts := storage.NewCounting(faulty)
+	retry := storage.NewRetry(attempts, storage.RetryOptions{
+		Attempts: 4,
+		Backoff:  storage.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Seed: cfg.Seed},
+	})
+	cache := storage.NewLRU(retry, 1<<30)
+
+	const readers = 16
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	gate := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			data, err := cache.Get(ctx, "hot/chunk")
+			if err == nil && !bytes.Equal(data, payload) {
+				err = fmt.Errorf("chaos: hot chunk bytes corrupted through retry")
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("chaos: hot-chunk reader failed (fault leaked past retry): %w", firstErr)
+	}
+	gets := attempts.Snapshot().Gets
+	if gets != 2 {
+		return fmt.Errorf("chaos: hot chunk cost %d origin Gets, want exactly 2 (one fault + one retry for all %d waiters)", gets, readers)
+	}
+	stats := cache.Stats()
+	if stats.Retries != 1 {
+		return fmt.Errorf("chaos: cache stats report %d retries, want 1", stats.Retries)
+	}
+	if stats.Faults != 1 {
+		return fmt.Errorf("chaos: cache stats report %d faults, want 1", stats.Faults)
+	}
+	res.Rows = append(res.Rows, Row{
+		Name: "hot-chunk-extra-requests", Value: float64(gets - 1), Unit: "reqs",
+		Extra: fmt.Sprintf("%d coalesced readers, %d origin Gets, %d retry", readers, gets, stats.Retries),
+	})
+	return nil
+}
+
+// chaosTrain streams one shuffled epoch over a faulty origin and proves the
+// delivered batch stream is byte-identical to the fault-free epoch, with the
+// logical request ledger (counted above Retry, so net of recovery traffic)
+// still exactly one fetch per chunk.
+func chaosTrain(ctx context.Context, cfg Config, res *Result) error {
+	spec := workload.ImageSpec{Height: 16, Width: 16, Channels: 3, Seed: cfg.Seed}
+	samples := rawSampleSet(cfg, spec)
+	bounds := chunk.Bounds{Min: 512, Target: 1 << 10, Max: 2 << 10}
+	profile := simnet.S3SameRegion()
+	profile.TimeScale = trainScale
+
+	origin := storage.NewSimObjectStore(profile)
+	faulty := storage.NewFaulty(origin, storage.FaultConfig{
+		Seed:         cfg.Seed,
+		GetErrRate:   0.05,
+		RangeErrRate: 0.05,
+		StallRate:    0.02,
+		PartialRate:  0.03,
+		PartialBytes: 256,
+	})
+	retry := storage.NewRetry(faulty, storage.RetryOptions{
+		Attempts:  6,
+		OpTimeout: 200 * time.Millisecond,
+		Backoff:   storage.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Seed: cfg.Seed},
+	})
+	logical := storage.NewCounting(retry)
+
+	// Ingest and the fault-free reference epoch run disarmed; only the
+	// epoch under study sees faults.
+	faulty.SetArmed(false)
+	if _, err := ingestDeepLake(ctx, logical, samples, bounds); err != nil {
+		return err
+	}
+	openCold := func() (*core.Dataset, int64, error) {
+		ds, err := core.Open(ctx, logical)
+		if err != nil {
+			return nil, 0, err
+		}
+		chunks := int64(ds.Tensor("images").NumChunks() + ds.Tensor("labels").NumChunks())
+		logical.Reset()
+		return ds, chunks, nil
+	}
+
+	ds, _, err := openCold()
+	if err != nil {
+		return err
+	}
+	cleanStart := time.Now()
+	refHash, refN, err := streamHash(ctx, ds, cfg.Workers, cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("chaos: fault-free reference epoch: %w", err)
+	}
+	cleanElapsed := time.Since(cleanStart)
+	if refN != cfg.N {
+		return fmt.Errorf("chaos: reference epoch delivered %d/%d rows", refN, cfg.N)
+	}
+
+	ds, chunks, err := openCold()
+	if err != nil {
+		return err
+	}
+	faulty.SetArmed(true)
+	chaosStart := time.Now()
+	hash, n, err := streamHash(ctx, ds, cfg.Workers, cfg.Seed)
+	chaosElapsed := time.Since(chaosStart)
+	faulty.SetArmed(false)
+	if err != nil {
+		return fmt.Errorf("chaos: epoch over faulty origin failed (retry layer must absorb transient faults): %w", err)
+	}
+	if n != cfg.N {
+		return fmt.Errorf("chaos: faulty epoch delivered %d/%d rows", n, cfg.N)
+	}
+	if hash != refHash {
+		return fmt.Errorf("chaos: faulty epoch batch stream differs from fault-free epoch (byte-identity broken by recovery)")
+	}
+	if got := logical.Requests(); got != chunks {
+		return fmt.Errorf("chaos: faulty epoch made %d logical origin requests for %d chunks (fetch-once net of retries broken)", got, chunks)
+	}
+	// Generous recovery bound: stalls cost an OpTimeout each, so the faulty
+	// epoch is slower, but it must not degrade to anything like a restart.
+	if limit := 20*cleanElapsed + 10*time.Second; chaosElapsed > limit {
+		return fmt.Errorf("chaos: faulty epoch took %s vs %s clean (recovery too slow, limit %s)", chaosElapsed, cleanElapsed, limit)
+	}
+	rs, fs := retry.Stats(), faulty.Stats()
+	res.Rows = append(res.Rows, Row{
+		Name: "train-slowdown", Value: chaosElapsed.Seconds() / cleanElapsed.Seconds(), Unit: "x",
+		Extra: fmt.Sprintf("%s vs %s clean; %d faults (%d err, %d stall, %d partial), %d retries, stream byte-identical",
+			chaosElapsed.Round(time.Millisecond), cleanElapsed.Round(time.Millisecond),
+			fs.Total(), fs.Errors, fs.Stalls, fs.Partials, rs.Retries),
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("train: %d injected faults recovered by %d retries; %d/%d chunks fetched once each net of retries",
+			fs.Total(), rs.Retries, logical.Requests(), chunks))
+	return nil
+}
+
+// jsonEqualIgnoringTimes compares two JSON documents with every object key
+// ending in "_at" (wall-clock timestamps) removed, recursively.
+func jsonEqualIgnoringTimes(a, b []byte) bool {
+	var va, vb any
+	if json.Unmarshal(a, &va) != nil || json.Unmarshal(b, &vb) != nil {
+		return bytes.Equal(a, b)
+	}
+	return reflect.DeepEqual(stripTimes(va), stripTimes(vb))
+}
+
+func stripTimes(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, vv := range t {
+			if strings.HasSuffix(k, "_at") {
+				delete(t, k)
+				continue
+			}
+			t[k] = stripTimes(vv)
+		}
+	case []any:
+		for i, vv := range t {
+			t[i] = stripTimes(vv)
+		}
+	}
+	return v
+}
+
+// chaosIngest writes the sample set twice with an identical deterministic
+// schedule — once onto a clean origin, once onto a Put-faulty origin where
+// failed chunk uploads park in the flush pipeline and are redriven
+// automatically under backoff — and byte-compares the two stored object
+// sets. Appends that surface a DeferredFlushError keep going (the bytes are
+// parked, not lost), and Flush is retried while it reports transient
+// failures, exercising the sticky-error-clearing redrive path.
+func chaosIngest(ctx context.Context, cfg Config, res *Result) error {
+	spec := workload.ImageSpec{Height: 16, Width: 16, Channels: 3, Seed: cfg.Seed}
+	samples := rawSampleSet(cfg, spec)
+	bounds := chunk.Bounds{Min: 512, Target: 1 << 10, Max: 2 << 10}
+	profile := simnet.S3SameRegion()
+	profile.TimeScale = trainScale
+
+	run := func(faultCfg *storage.FaultConfig) (storage.Provider, *storage.Faulty, time.Duration, error) {
+		origin := storage.NewSimObjectStore(profile)
+		var (
+			store  storage.Provider = origin
+			faulty *storage.Faulty
+		)
+		if faultCfg != nil {
+			faulty = storage.NewFaulty(origin, *faultCfg)
+			faulty.SetArmed(false) // arm only after dataset setup
+			store = faulty
+		}
+		ds, err := core.Create(ctx, store, "chaos-ingest")
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := ds.SetWriteOptions(core.WriteOptions{
+			FlushWorkers: 4, MaxPending: 8,
+			FlushRetries: chaosFlushRetries,
+			FlushBackoff: storage.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Seed: cfg.Seed},
+		}); err != nil {
+			return nil, nil, 0, err
+		}
+		for _, spec := range []core.TensorSpec{
+			{Name: "images", Htype: "generic", Dtype: tensor.UInt8, Bounds: bounds},
+			{Name: "labels", Htype: "class_label", Bounds: bounds},
+		} {
+			if _, err := ds.CreateTensor(ctx, spec); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		if faulty != nil {
+			faulty.SetArmed(true)
+		}
+		start := time.Now()
+		// Single writer: the append order (and so every stored byte) is
+		// deterministic; only the upload schedule sees faults.
+		for i, s := range samples {
+			arr, err := tensor.FromBytes(tensor.UInt8, s.Shape, s.Data)
+			if err == nil {
+				err = ds.Append(ctx, map[string]*tensor.NDArray{
+					"images": arr,
+					"labels": tensor.Scalar(tensor.Int32, float64(s.Label)),
+				})
+			}
+			var dfe *core.DeferredFlushError
+			if errors.As(err, &dfe) {
+				// Uploads are failing right now; the row IS recorded and the
+				// chunk parked for redrive. Keep ingesting.
+				continue
+			}
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("chaos: ingest sample %d: %w", i, err)
+			}
+		}
+		// Flush drains the pipeline (redriving parked chunks) and persists
+		// metadata; metadata Puts hit the faulty origin directly, so retry
+		// the whole barrier while it fails transiently.
+		var flushErr error
+		for attempt := 0; attempt < chaosFlushRetries; attempt++ {
+			if flushErr = ds.Flush(ctx); flushErr == nil {
+				break
+			}
+			if !storage.IsRetryable(flushErr) && !errors.Is(flushErr, context.DeadlineExceeded) {
+				return nil, nil, 0, fmt.Errorf("chaos: ingest flush failed non-transiently: %w", flushErr)
+			}
+		}
+		if flushErr != nil {
+			return nil, nil, 0, fmt.Errorf("chaos: ingest flush still failing after %d attempts: %w", chaosFlushRetries, flushErr)
+		}
+		elapsed := time.Since(start)
+		if faulty != nil {
+			faulty.SetArmed(false)
+		}
+		return store, faulty, elapsed, nil
+	}
+
+	cleanStore, _, cleanElapsed, err := run(nil)
+	if err != nil {
+		return err
+	}
+	// Cap the schedule at a quarter of the expected chunk uploads: plenty of
+	// parked-and-redriven chunks, but the tail of the run (including the
+	// final metadata Puts) is guaranteed to converge for any seed.
+	faultCfg := storage.FaultConfig{Seed: cfg.Seed, PutErrRate: 0.1, MaxFaults: int64(len(samples))/4 + 2}
+	chaosStore, faulty, chaosElapsed, err := run(&faultCfg)
+	if err != nil {
+		return err
+	}
+
+	// The two origins must hold byte-identical object sets: faults may delay
+	// uploads, never change or lose what lands.
+	cleanKeys, err := cleanStore.List(ctx, "")
+	if err != nil {
+		return err
+	}
+	chaosKeys, err := chaosStore.List(ctx, "")
+	if err != nil {
+		return err
+	}
+	if len(cleanKeys) != len(chaosKeys) {
+		return fmt.Errorf("chaos: faulty ingest stored %d objects, clean stored %d", len(chaosKeys), len(cleanKeys))
+	}
+	for i, key := range cleanKeys {
+		if chaosKeys[i] != key {
+			return fmt.Errorf("chaos: object set diverged at %q vs %q", chaosKeys[i], key)
+		}
+		want, err := cleanStore.Get(ctx, key)
+		if err != nil {
+			return err
+		}
+		got, err := chaosStore.Get(ctx, key)
+		if err != nil {
+			return err
+		}
+		// The two root metadata files embed wall-clock creation/commit
+		// timestamps that legitimately differ between the runs; compare them
+		// with timestamps stripped. Every data-bearing object (chunks, chunk
+		// sets, encoders, tensor metadata) must match byte for byte.
+		if key == "dataset.json" || key == "version_control.json" {
+			if !jsonEqualIgnoringTimes(got, want) {
+				return fmt.Errorf("chaos: %q differs beyond timestamps after faulty ingest", key)
+			}
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("chaos: stored bytes differ for %q after faulty ingest", key)
+		}
+	}
+	fs := faulty.Stats()
+	if fs.Total() == 0 {
+		return fmt.Errorf("chaos: fault schedule injected nothing into the ingest (seed %d too sparse for n=%d)", cfg.Seed, cfg.N)
+	}
+	res.Rows = append(res.Rows, Row{
+		Name: "ingest-slowdown", Value: chaosElapsed.Seconds() / cleanElapsed.Seconds(), Unit: "x",
+		Extra: fmt.Sprintf("%s vs %s clean; %d Put faults parked+redriven, %d objects byte-identical",
+			chaosElapsed.Round(time.Millisecond), cleanElapsed.Round(time.Millisecond), fs.Total(), len(cleanKeys)),
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("ingest: %d injected Put faults; all %d stored objects byte-identical to the fault-free run", fs.Total(), len(cleanKeys)))
+	return nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestChaosScenario asserts the resilience acceptance criteria at test
+// scale. The Chaos runner itself fails when a fault leaks past the retry
+// layer, when the delivered batch stream or the stored object set differs
+// from the fault-free run, when the hot-chunk fault costs more than one
+// extra origin request, or when the faulty epoch blows the recovery bound —
+// so a clean return already covers the contracts; the checks here guard the
+// reported series' shape.
+func TestChaosScenario(t *testing.T) {
+	res, err := Chaos(context.Background(), Config{N: 96, Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, ok := res.Value("hot-chunk-extra-requests")
+	if !ok {
+		t.Fatal("hot-chunk-extra-requests row missing")
+	}
+	if extra != 1 {
+		t.Fatalf("coalesced fault cost %.0f extra origin requests, want exactly 1", extra)
+	}
+	for _, name := range []string{"train-slowdown", "ingest-slowdown"} {
+		v, ok := res.Value(name)
+		if !ok {
+			t.Fatalf("%s row missing", name)
+		}
+		if v <= 0 {
+			t.Fatalf("%s = %.3f, want positive", name, v)
+		}
+	}
+}
+
+// TestChaosReproducible runs the scenario twice with one seed and asserts
+// the injected fault counts match: the whole point of the seeded schedule
+// is that a chaos failure can be re-run exactly.
+func TestChaosReproducible(t *testing.T) {
+	run := func() *Result {
+		res, err := Chaos(context.Background(), Config{N: 48, Workers: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Notes) != len(b.Notes) {
+		t.Fatalf("note count differs across identical runs: %d vs %d", len(a.Notes), len(b.Notes))
+	}
+	// The fault/retry accounting notes embed the injected counts; they must
+	// be identical run to run (timings may differ, counts may not).
+	for i := range a.Notes {
+		if a.Notes[i] != b.Notes[i] {
+			t.Fatalf("fault accounting differs across identical runs:\n  %s\n  %s", a.Notes[i], b.Notes[i])
+		}
+	}
+}

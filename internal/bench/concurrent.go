@@ -56,8 +56,7 @@ func ConcurrentReaders(ctx context.Context, cfg Config) (*Result, error) {
 
 	for _, readers := range []int{1, 4, 16} {
 		cached := storage.NewShardedLRU(counting, 1<<30, storage.DefaultShards)
-		atomic.StoreInt64(&counting.Gets, 0)
-		atomic.StoreInt64(&counting.RangeGets, 0)
+		counting.Reset()
 
 		var (
 			wg       sync.WaitGroup
@@ -115,7 +114,7 @@ func hotChunkCoalescing(ctx context.Context) (originGets, coalesced int64, err e
 	if err := counting.Put(ctx, "hot/chunk", make([]byte, 4<<20)); err != nil {
 		return 0, 0, err
 	}
-	atomic.StoreInt64(&counting.Gets, 0)
+	counting.Reset()
 
 	const readers = 16
 	var (
@@ -143,7 +142,7 @@ func hotChunkCoalescing(ctx context.Context) (originGets, coalesced int64, err e
 	if firstErr != nil {
 		return 0, 0, firstErr
 	}
-	return atomic.LoadInt64(&counting.Gets), cache.Stats().Coalesced, nil
+	return counting.Snapshot().Gets, cache.Stats().Coalesced, nil
 }
 
 // streamEpoch opens the dataset through the shared cache and streams one

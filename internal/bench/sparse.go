@@ -49,7 +49,7 @@ func AblationSparseViews(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	epoch := func(src *view.View) (time.Duration, int64, error) {
-		counting.BytesRead = 0
+		counting.Reset()
 		l := dataloader.New(src, dataloader.Options{BatchSize: 16, Workers: cfg.Workers, RawBytes: true})
 		n := 0
 		start := time.Now()
@@ -62,7 +62,7 @@ func AblationSparseViews(ctx context.Context, cfg Config) (*Result, error) {
 		if n != src.Len() {
 			return 0, 0, fmt.Errorf("delivered %d/%d", n, src.Len())
 		}
-		return time.Since(start), counting.BytesRead, nil
+		return time.Since(start), counting.Snapshot().BytesRead, nil
 	}
 
 	sparseDur, sparseBytes, err := epoch(v)
@@ -83,7 +83,7 @@ func AblationSparseViews(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	counting2 := matCounting
-	counting2.BytesRead = 0
+	counting2.Reset()
 	l := dataloader.ForDataset(out, dataloader.Options{BatchSize: 16, Workers: cfg.Workers, RawBytes: true})
 	n := 0
 	start := time.Now()
@@ -93,10 +93,11 @@ func AblationSparseViews(ctx context.Context, cfg Config) (*Result, error) {
 	if err := l.Err(); err != nil {
 		return nil, err
 	}
+	matBytes := counting2.Snapshot().BytesRead
 	res.Rows = append(res.Rows, Row{
 		Name: "materialized-view", Value: time.Since(start).Seconds(), Unit: "s",
-		Extra: fmt.Sprintf("%.1f MB transferred for %d rows", float64(counting2.BytesRead)/1e6, n),
+		Extra: fmt.Sprintf("%.1f MB transferred for %d rows", float64(matBytes)/1e6, n),
 	})
-	res.Rows = append(res.Rows, Row{Name: "materialized-view-bytes", Value: float64(counting2.BytesRead) / 1e6, Unit: "MB"})
+	res.Rows = append(res.Rows, Row{Name: "materialized-view-bytes", Value: float64(matBytes) / 1e6, Unit: "MB"})
 	return res, nil
 }

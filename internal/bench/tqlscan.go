@@ -3,7 +3,6 @@ package bench
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/chunk"
@@ -55,8 +54,7 @@ func TQLScan(ctx context.Context, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		atomic.StoreInt64(&counting.Gets, 0)
-		atomic.StoreInt64(&counting.RangeGets, 0)
+		counting.Reset()
 		return ds, nil
 	}
 
@@ -104,7 +102,7 @@ func TQLScan(ctx context.Context, cfg Config) (*Result, error) {
 	pushGets := counting.Requests()
 	res.Rows = append(res.Rows, Row{
 		Name: "pushdown-origin-requests", Value: float64(pushGets), Unit: "reqs",
-		Extra: fmt.Sprintf("%d rows matched, %d chunk Gets (0 = pure shape-encoder answer)", pv.Len(), atomic.LoadInt64(&counting.Gets)),
+		Extra: fmt.Sprintf("%d rows matched, %d chunk Gets (0 = pure shape-encoder answer)", pv.Len(), counting.Snapshot().Gets),
 	})
 
 	ds, err = openCold()

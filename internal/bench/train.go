@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/baselines"
@@ -86,8 +85,7 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		atomic.StoreInt64(&counting.Gets, 0)
-		atomic.StoreInt64(&counting.RangeGets, 0)
+		counting.Reset()
 		return ds, nil
 	}
 	chunksOf := func(ds *core.Dataset) int64 {

@@ -39,6 +39,17 @@ type WriteOptions struct {
 	// fails (and parks its chunk for retry) instead of pinning a worker
 	// lane and a pending slot forever.
 	UploadTimeout time.Duration
+	// FlushRetries enables automatic recovery: after a retryable upload
+	// failure (storage.IsRetryable, or the pipeline's own UploadTimeout
+	// firing) the pipeline redrives every parked blob by itself under
+	// capped exponential backoff, up to FlushRetries redrive bursts per
+	// failure streak, instead of waiting for the next manual Flush. A
+	// successful full drain resets the streak. 0 keeps the manual-only
+	// behavior.
+	FlushRetries int
+	// FlushBackoff shapes the automatic redrive schedule. The zero value
+	// uses the storage.Backoff defaults (10ms base, 1s cap).
+	FlushBackoff storage.Backoff
 }
 
 // DeferredFlushError wraps a storage error from the background flush
@@ -102,10 +113,14 @@ func (o WriteOptions) withDefaults() WriteOptions {
 // A failed or aborted upload parks the entry (uploader=false) instead of
 // dropping it — the data stays readable, and the next flush attempt
 // redrives parked entries, which makes transient upload errors recoverable
-// by simply calling Flush again. Re-enqueueing a key still in flight
-// (copy-on-write SetAt rewrites a chunk under its existing id) hands the
-// newer bytes to the existing uploader via a generation counter instead of
-// racing a second Put on the same object.
+// by simply calling Flush again. With FlushRetries > 0 the pipeline also
+// redrives parked entries by itself under capped exponential backoff after
+// a retryable failure, so recovery does not wait for a manual Flush; the
+// sticky error clears once every pending blob has drained, so a recovered
+// dataset never reports a stale failure. Re-enqueueing a key still in
+// flight (copy-on-write SetAt rewrites a chunk under its existing id) hands
+// the newer bytes to the existing uploader via a generation counter instead
+// of racing a second Put on the same object.
 //
 // Uploads run on the pipeline's own background context, not the enqueuing
 // caller's: once an append has been acknowledged, cancelling that caller's
@@ -121,9 +136,19 @@ type flushPipeline struct {
 	slots   chan struct{}
 	workers chan struct{}
 
+	// autoRetries/backoff configure automatic redrive of parked uploads
+	// (WriteOptions.FlushRetries/FlushBackoff); 0 disables it.
+	autoRetries int
+	backoff     storage.Backoff
+
 	mu       sync.Mutex
 	firstErr error
 	pending  map[string]*pendingChunk
+	// retryAttempt counts automatic redrive bursts in the current failure
+	// streak; retryStop is non-nil while a backoff timer is pending and is
+	// closed by a manual redrive that takes over recovery.
+	retryAttempt int
+	retryStop    chan struct{}
 	// active counts uploader goroutines; idle is closed when active drops
 	// to zero (and replaced when it rises again), so drain can select on
 	// quiescence against its caller's context without a dangling waiter —
@@ -146,12 +171,14 @@ func newFlushPipeline(store storage.Provider, opts WriteOptions) *flushPipeline 
 	idle := make(chan struct{})
 	close(idle)
 	return &flushPipeline{
-		store:      store,
-		putTimeout: opts.UploadTimeout,
-		slots:      make(chan struct{}, opts.MaxPending),
-		workers:    make(chan struct{}, opts.FlushWorkers),
-		pending:    map[string]*pendingChunk{},
-		idle:       idle,
+		store:       store,
+		putTimeout:  opts.UploadTimeout,
+		autoRetries: opts.FlushRetries,
+		backoff:     opts.FlushBackoff,
+		slots:       make(chan struct{}, opts.MaxPending),
+		workers:     make(chan struct{}, opts.FlushWorkers),
+		pending:     map[string]*pendingChunk{},
+		idle:        idle,
 	}
 }
 
@@ -180,14 +207,6 @@ func (p *flushPipeline) Err() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.firstErr
-}
-
-func (p *flushPipeline) fail(err error) {
-	p.mu.Lock()
-	if p.firstErr == nil {
-		p.firstErr = err
-	}
-	p.mu.Unlock()
 }
 
 // lookup returns the not-yet-durable blob stored under key, if any.
@@ -278,13 +297,21 @@ func (p *flushPipeline) upload(key string) {
 		err := p.store.Put(putCtx, key, blob)
 		cancel()
 		if err != nil {
-			p.park(key)
-			p.fail(err)
+			p.failAndPark(key, err)
 			return
 		}
 		p.mu.Lock()
 		if cur, ok := p.pending[key]; ok && cur == pc && cur.gen == gen {
 			delete(p.pending, key)
+			if len(p.pending) == 0 {
+				// Every blob is durable. A sticky error left over from a
+				// failure that has since been redriven successfully would
+				// misreport this recovered dataset on the next
+				// Flush/Commit, so clear it — and reset the automatic
+				// redrive streak, since the pipeline is healthy again.
+				p.firstErr = nil
+				p.retryAttempt = 0
+			}
 			p.mu.Unlock()
 			return
 		}
@@ -292,13 +319,99 @@ func (p *flushPipeline) upload(key string) {
 	}
 }
 
+// retryableUpload classifies a background Put failure for automatic
+// redrive: explicitly transient storage errors, plus the pipeline's own
+// UploadTimeout firing (uploads run on a background context, so a deadline
+// error here is never the appending caller giving up).
+func retryableUpload(err error) bool {
+	return storage.IsRetryable(err) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// failAndPark atomically parks key's entry and records the sticky error —
+// one critical section, so a concurrent redrive can never observe the park
+// without the error (recover the blob, then be re-failed by a stale write).
+// If automatic redrive is enabled and the failure is retryable, it also
+// schedules a backoff-delayed redrive of everything parked.
+func (p *flushPipeline) failAndPark(key string, err error) {
+	p.mu.Lock()
+	if pc, ok := p.pending[key]; ok {
+		pc.uploader = false
+	}
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	schedule := p.autoRetries > 0 && p.retryStop == nil &&
+		p.retryAttempt < p.autoRetries && retryableUpload(err)
+	var (
+		stop  chan struct{}
+		delay time.Duration
+	)
+	if schedule {
+		p.retryAttempt++
+		delay = p.backoff.Delay(p.retryAttempt)
+		stop = make(chan struct{})
+		p.retryStop = stop
+	}
+	p.mu.Unlock()
+	if schedule {
+		// The redrive timer registers as an active uploader so drain (the
+		// Flush/Commit barrier) waits for the recovery attempt instead of
+		// reporting a failure that is about to be retried.
+		p.begin()
+		go p.autoRedrive(stop, delay)
+	}
+}
+
+// autoRedrive waits out the backoff, then restarts an uploader for every
+// parked entry — the automatic counterpart of a manual Flush's redrive. A
+// manual redrive that arrives first closes stop and takes over; the timer
+// then exits without touching anything.
+func (p *flushPipeline) autoRedrive(stop chan struct{}, delay time.Duration) {
+	defer p.end()
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+		return
+	}
+	p.mu.Lock()
+	if p.retryStop == stop {
+		p.retryStop = nil
+	}
+	var parked []string
+	for key, pc := range p.pending {
+		if !pc.uploader {
+			pc.uploader = true
+			parked = append(parked, key)
+		}
+	}
+	p.mu.Unlock()
+	for _, key := range parked {
+		// Block for a slot unconditionally: slots are only held by upload
+		// goroutines, which always release, so this cannot deadlock — and
+		// bailing out here would strand entries marked uploader=true with
+		// no uploader.
+		p.slots <- struct{}{}
+		p.begin()
+		go p.upload(key)
+	}
+}
+
 // redrive clears the sticky error and restarts an uploader for every
 // parked entry, making a new flush attempt after a transient failure (or a
-// cancelled ingest) retry everything that never landed. Caller holds the
-// dataset structure lock exclusively.
+// cancelled ingest) retry everything that never landed. It also cancels any
+// pending automatic redrive timer and resets the failure streak — the
+// manual flush takes over recovery. Caller holds the dataset structure lock
+// exclusively.
 func (p *flushPipeline) redrive(ctx context.Context) error {
 	p.mu.Lock()
 	p.firstErr = nil
+	p.retryAttempt = 0
+	if p.retryStop != nil {
+		close(p.retryStop)
+		p.retryStop = nil
+	}
 	var parked []string
 	for key, pc := range p.pending {
 		if !pc.uploader {

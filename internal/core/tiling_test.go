@@ -68,7 +68,7 @@ func TestTiledSliceFetchesOnlyOverlappingTiles(t *testing.T) {
 		t.Fatalf("expected a multi-tile layout, got %+v", entry)
 	}
 
-	store.Gets = 0
+	store.Reset()
 	region := []tensor.Range{{Start: 0, Stop: 2}, {Start: 0, Stop: 2}}
 	part, err := tr.Slice(ctx, 0, region)
 	if err != nil {
@@ -78,8 +78,8 @@ func TestTiledSliceFetchesOnlyOverlappingTiles(t *testing.T) {
 	if !part.Equal(want) {
 		t.Fatal("tiled slice mismatch")
 	}
-	if store.Gets >= int64(len(entry.ChunkIDs)) {
-		t.Fatalf("slice fetched %d chunks of %d; should fetch only overlapping tiles", store.Gets, len(entry.ChunkIDs))
+	if gets := store.Snapshot().Gets; gets >= int64(len(entry.ChunkIDs)) {
+		t.Fatalf("slice fetched %d chunks of %d; should fetch only overlapping tiles", gets, len(entry.ChunkIDs))
 	}
 }
 
@@ -160,8 +160,7 @@ func TestVideoFrameRangeRead(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	count.Gets = 0
-	count.RangeGets = 0
+	count.Reset()
 	frames, err := vid.Slice(ctx, 0, []tensor.Range{{Start: 2, Stop: 4}})
 	if err != nil {
 		t.Fatal(err)
@@ -173,10 +172,9 @@ func TestVideoFrameRangeRead(t *testing.T) {
 	if !frames.Equal(want) {
 		t.Fatal("frame data mismatch")
 	}
-	if count.Gets != 0 {
-		t.Fatalf("frame read did %d full Gets; want range requests only", count.Gets)
-	}
-	if count.RangeGets == 0 {
+	if snap := count.Snapshot(); snap.Gets != 0 {
+		t.Fatalf("frame read did %d full Gets; want range requests only", snap.Gets)
+	} else if snap.RangeGets == 0 {
 		t.Fatal("frame read made no range requests")
 	}
 }
@@ -192,14 +190,14 @@ func TestRangeReadBytesAreProportional(t *testing.T) {
 	tr.Append(ctx, big)
 	ds.Flush(ctx)
 
-	count.BytesRead = 0
+	count.Reset()
 	if _, err := tr.Slice(ctx, 0, []tensor.Range{{Start: 0, Stop: 10}}); err != nil {
 		t.Fatal(err)
 	}
 	// 10 rows x 100 bytes = 1KB payload; directory overhead allowed, but
 	// nowhere near the 100KB full sample.
-	if count.BytesRead > 20_000 {
-		t.Fatalf("range read transferred %d bytes for a 1KB slice", count.BytesRead)
+	if br := count.Snapshot().BytesRead; br > 20_000 {
+		t.Fatalf("range read transferred %d bytes for a 1KB slice", br)
 	}
 }
 

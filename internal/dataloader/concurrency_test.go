@@ -57,12 +57,12 @@ func TestReadaheadDoesNotDuplicateFetches(t *testing.T) {
 	counting := storage.NewCounting(inner)
 	ds := loaderDataset(t, counting, 256)
 
-	counting.Gets = 0
+	counting.Reset()
 	l := ForDataset(ds, Options{BatchSize: 16, Workers: 8, Readahead: 8})
 	drain(t, l)
 	chunks := int64(ds.Tensor("x").NumChunks() + ds.Tensor("label").NumChunks())
-	if counting.Gets > chunks {
-		t.Fatalf("epoch fetched %d objects for %d chunks; readahead duplicated fetches", counting.Gets, chunks)
+	if gets := counting.Snapshot().Gets; gets > chunks {
+		t.Fatalf("epoch fetched %d objects for %d chunks; readahead duplicated fetches", gets, chunks)
 	}
 }
 

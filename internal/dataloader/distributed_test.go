@@ -146,14 +146,14 @@ func TestChunksDecodedOncePerEpochPerRank(t *testing.T) {
 	chunks := int64(ds.Tensor("x").NumChunks() + ds.Tensor("label").NumChunks())
 
 	// Single rank: equality, not just a bound.
-	counting.Gets = 0
+	counting.Reset()
 	l := ForDataset(ds, Options{BatchSize: 16, Workers: 16, Shuffle: true, Seed: 3, Readahead: 8})
 	drain(t, l)
 	if got := l.CacheDecodes(); got != chunks {
 		t.Fatalf("epoch decoded %d chunks, want exactly %d", got, chunks)
 	}
-	if counting.Gets != chunks {
-		t.Fatalf("epoch fetched %d objects for %d chunks", counting.Gets, chunks)
+	if gets := counting.Snapshot().Gets; gets != chunks {
+		t.Fatalf("epoch fetched %d objects for %d chunks", gets, chunks)
 	}
 
 	// Sharded ranks: each rank decodes its primary shard once; secondary

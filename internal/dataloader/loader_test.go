@@ -269,12 +269,12 @@ func TestChunkCacheDeduplicatesFetches(t *testing.T) {
 	counting := storage.NewCounting(inner)
 	ds := loaderDataset(t, counting, 256)
 
-	counting.Gets = 0
+	counting.Reset()
 	l := ForDataset(ds, Options{BatchSize: 16, Workers: 8})
 	drain(t, l)
 	chunks := int64(ds.Tensor("x").NumChunks() + ds.Tensor("label").NumChunks())
-	if counting.Gets > chunks {
-		t.Fatalf("epoch fetched %d objects for %d chunks; cache failed to deduplicate", counting.Gets, chunks)
+	if gets := counting.Snapshot().Gets; gets > chunks {
+		t.Fatalf("epoch fetched %d objects for %d chunks; cache failed to deduplicate", gets, chunks)
 	}
 	hits, misses := l.CacheStats()
 	if hits == 0 || misses == 0 {

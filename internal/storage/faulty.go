@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Fault op classes: each class draws from its own deterministic schedule, so
+// a run's fault pattern depends only on (Seed, per-class operation sequence),
+// not on how goroutines interleave reads with writes or metadata calls.
+const (
+	faultClassGet = iota
+	faultClassRange
+	faultClassPut
+	faultClassMeta // Exists, Size, List, Delete
+	faultClasses
+)
+
+var faultClassName = [faultClasses]string{"get", "getrange", "put", "meta"}
+
+// FaultConfig describes a reproducible fault schedule for a Faulty provider.
+// All rates are probabilities in [0, 1]; outcomes are decided by hashing
+// (Seed, op class, per-class sequence number), so the same config over the
+// same per-class operation sequence injects exactly the same faults —
+// regardless of goroutine interleaving across classes.
+type FaultConfig struct {
+	// Seed drives the deterministic schedule.
+	Seed int64
+	// GetErrRate / RangeErrRate / PutErrRate / MetaErrRate are per-op-class
+	// probabilities of failing with a transient error (IsRetryable = true)
+	// before the inner provider is touched.
+	GetErrRate, RangeErrRate, PutErrRate, MetaErrRate float64
+	// StallRate is the probability (any class) that an operation
+	// black-holes: it blocks until the operation's context is done and
+	// returns the context error, the way a dead TCP peer looks to an SDK
+	// with no socket timeout. Pair with Retry's OpTimeout.
+	StallRate float64
+	// PartialRate is the probability that a Get delivers only a prefix:
+	// PartialBytes are actually read through the inner provider (charging
+	// any simulated network underneath for the wasted transfer) and then
+	// the call fails with a transient error.
+	PartialRate float64
+	// PartialBytes is the prefix length of a partial read. Zero means 1KB.
+	PartialBytes int64
+	// MaxFaults caps the total number of injected faults; once reached the
+	// provider becomes transparent. Zero means unlimited. A cap of 1 with
+	// GetErrRate 1 injects exactly one fault on the first Get — the
+	// singleflight-retry litmus configuration.
+	MaxFaults int64
+}
+
+// FaultStats is a point-in-time copy of a Faulty wrapper's counters.
+type FaultStats struct {
+	// Errors, Stalls and Partials count injected faults by kind.
+	Errors, Stalls, Partials int64
+}
+
+// Total is the number of faults injected so far.
+func (s FaultStats) Total() int64 { return s.Errors + s.Stalls + s.Partials }
+
+// Faulty wraps a provider with deterministic fault injection for chaos
+// testing: per-op-class transient error rates, stalls that black-hole until
+// the context deadline, and fail-after-N-bytes partial reads. Injected
+// errors carry ErrTransient, so a Retry layer stacked above recovers them
+// while tests without one observe the raw failure. Typically Faulty wraps a
+// Sim provider, making the flaky endpoint also pay simulated network costs.
+//
+// The schedule is seeded and reproducible (see FaultConfig); SetArmed(false)
+// makes the wrapper transparent without consuming schedule positions, so a
+// test can open a dataset cleanly and arm faults only for the phase under
+// study.
+type Faulty struct {
+	inner Provider
+	cfg   FaultConfig
+
+	armed    atomic.Bool
+	seq      [faultClasses]atomic.Int64
+	injected atomic.Int64
+	errors   atomic.Int64
+	stalls   atomic.Int64
+	partials atomic.Int64
+}
+
+// NewFaulty wraps inner with the given fault schedule, armed.
+func NewFaulty(inner Provider, cfg FaultConfig) *Faulty {
+	if cfg.PartialBytes <= 0 {
+		cfg.PartialBytes = 1 << 10
+	}
+	f := &Faulty{inner: inner, cfg: cfg}
+	f.armed.Store(true)
+	return f
+}
+
+// Unwrap returns the wrapped provider.
+func (f *Faulty) Unwrap() Provider { return f.inner }
+
+// SetArmed enables or disables fault injection. While disarmed, operations
+// pass straight through and do not advance the fault schedule.
+func (f *Faulty) SetArmed(on bool) { f.armed.Store(on) }
+
+// Stats reports how many faults have been injected, by kind.
+func (f *Faulty) Stats() FaultStats {
+	return FaultStats{
+		Errors:   f.errors.Load(),
+		Stalls:   f.stalls.Load(),
+		Partials: f.partials.Load(),
+	}
+}
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultStall
+	faultErr
+	faultPartial
+)
+
+// roll decides the outcome for the next operation of the given class.
+func (f *Faulty) roll(class int, errRate float64) faultKind {
+	if !f.armed.Load() {
+		return faultNone
+	}
+	n := f.seq[class].Add(1)
+	h := splitmix64(uint64(f.cfg.Seed)<<20 ^ uint64(class)<<56 ^ uint64(n))
+	u := float64(h>>11) / (1 << 53)
+	kind := faultNone
+	switch {
+	case u < f.cfg.StallRate:
+		kind = faultStall
+	case u < f.cfg.StallRate+errRate:
+		kind = faultErr
+	case class == faultClassGet && u < f.cfg.StallRate+errRate+f.cfg.PartialRate:
+		kind = faultPartial
+	}
+	if kind == faultNone {
+		return faultNone
+	}
+	if f.cfg.MaxFaults > 0 && f.injected.Add(1) > f.cfg.MaxFaults {
+		return faultNone
+	} else if f.cfg.MaxFaults <= 0 {
+		f.injected.Add(1)
+	}
+	switch kind {
+	case faultStall:
+		f.stalls.Add(1)
+	case faultErr:
+		f.errors.Add(1)
+	case faultPartial:
+		f.partials.Add(1)
+	}
+	return kind
+}
+
+// stall blocks until ctx is done and returns its error: the black-hole
+// failure mode. A context with no deadline or cancellation hangs forever,
+// exactly like an SDK with no socket timeout — stack Retry with OpTimeout
+// (or give the caller a deadline) when stalls are enabled.
+func (f *Faulty) stall(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func (f *Faulty) injectedErr(class int, key string) error {
+	return fmt.Errorf("storage: injected %s fault on %q: %w", faultClassName[class], key, ErrTransient)
+}
+
+// Get implements Provider.
+func (f *Faulty) Get(ctx context.Context, key string) ([]byte, error) {
+	switch f.roll(faultClassGet, f.cfg.GetErrRate) {
+	case faultStall:
+		return nil, f.stall(ctx)
+	case faultErr:
+		return nil, f.injectedErr(faultClassGet, key)
+	case faultPartial:
+		// The prefix really transfers (and really costs simulated network
+		// time below), then the connection "drops".
+		_, _ = f.inner.GetRange(ctx, key, 0, f.cfg.PartialBytes)
+		return nil, fmt.Errorf("storage: injected partial read of %q after %d bytes: %w",
+			key, f.cfg.PartialBytes, ErrTransient)
+	}
+	return f.inner.Get(ctx, key)
+}
+
+// GetRange implements Provider.
+func (f *Faulty) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	switch f.roll(faultClassRange, f.cfg.RangeErrRate) {
+	case faultStall:
+		return nil, f.stall(ctx)
+	case faultErr:
+		return nil, f.injectedErr(faultClassRange, key)
+	}
+	return f.inner.GetRange(ctx, key, offset, length)
+}
+
+// Put implements Provider.
+func (f *Faulty) Put(ctx context.Context, key string, data []byte) error {
+	switch f.roll(faultClassPut, f.cfg.PutErrRate) {
+	case faultStall:
+		return f.stall(ctx)
+	case faultErr:
+		return f.injectedErr(faultClassPut, key)
+	}
+	return f.inner.Put(ctx, key, data)
+}
+
+// Delete implements Provider.
+func (f *Faulty) Delete(ctx context.Context, key string) error {
+	switch f.roll(faultClassMeta, f.cfg.MetaErrRate) {
+	case faultStall:
+		return f.stall(ctx)
+	case faultErr:
+		return f.injectedErr(faultClassMeta, key)
+	}
+	return f.inner.Delete(ctx, key)
+}
+
+// Exists implements Provider.
+func (f *Faulty) Exists(ctx context.Context, key string) (bool, error) {
+	switch f.roll(faultClassMeta, f.cfg.MetaErrRate) {
+	case faultStall:
+		return false, f.stall(ctx)
+	case faultErr:
+		return false, f.injectedErr(faultClassMeta, key)
+	}
+	return f.inner.Exists(ctx, key)
+}
+
+// List implements Provider.
+func (f *Faulty) List(ctx context.Context, prefix string) ([]string, error) {
+	switch f.roll(faultClassMeta, f.cfg.MetaErrRate) {
+	case faultStall:
+		return nil, f.stall(ctx)
+	case faultErr:
+		return nil, f.injectedErr(faultClassMeta, prefix)
+	}
+	return f.inner.List(ctx, prefix)
+}
+
+// Size implements Provider.
+func (f *Faulty) Size(ctx context.Context, key string) (int64, error) {
+	switch f.roll(faultClassMeta, f.cfg.MetaErrRate) {
+	case faultStall:
+		return 0, f.stall(ctx)
+	case faultErr:
+		return 0, f.injectedErr(faultClassMeta, key)
+	}
+	return f.inner.Size(ctx, key)
+}

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestFaultyScheduleIsReproducible(t *testing.T) {
+	ctx := context.Background()
+	run := func() (FaultStats, []bool) {
+		mem := NewMemory()
+		if err := mem.Put(ctx, "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		f := NewFaulty(mem, FaultConfig{Seed: 99, GetErrRate: 0.3})
+		outcomes := make([]bool, 50)
+		for i := range outcomes {
+			_, err := f.Get(ctx, "k")
+			outcomes[i] = err != nil
+		}
+		return f.Stats(), outcomes
+	}
+	s1, o1 := run()
+	s2, o2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", s1, s2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("op %d outcome differs across identical runs", i)
+		}
+	}
+	if s1.Errors == 0 || s1.Errors == 50 {
+		t.Fatalf("error rate 0.3 over 50 ops injected %d faults; schedule degenerate", s1.Errors)
+	}
+}
+
+func TestFaultyScheduleIndependentPerClass(t *testing.T) {
+	// Interleaving writes between reads must not change which reads fault:
+	// each op class draws from its own sequence.
+	ctx := context.Background()
+	run := func(interleavePuts bool) []bool {
+		mem := NewMemory()
+		if err := mem.Put(ctx, "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		f := NewFaulty(mem, FaultConfig{Seed: 7, GetErrRate: 0.4})
+		outcomes := make([]bool, 30)
+		for i := range outcomes {
+			if interleavePuts {
+				_ = f.Put(ctx, "other", []byte("x"))
+			}
+			_, err := f.Get(ctx, "k")
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	plain, interleaved := run(false), run(true)
+	for i := range plain {
+		if plain[i] != interleaved[i] {
+			t.Fatalf("get %d fault outcome changed when puts were interleaved", i)
+		}
+	}
+}
+
+func TestFaultyMaxFaultsCap(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemory()
+	if err := mem.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(mem, FaultConfig{GetErrRate: 1, MaxFaults: 3})
+	failures := 0
+	for i := 0; i < 20; i++ {
+		if _, err := f.Get(ctx, "k"); err != nil {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("%d failures with MaxFaults 3", failures)
+	}
+	if got := f.Stats().Total(); got != 3 {
+		t.Fatalf("stats count %d faults, want 3", got)
+	}
+}
+
+func TestFaultyDisarmedIsTransparent(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemory()
+	if err := mem.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(mem, FaultConfig{Seed: 3, GetErrRate: 1})
+	f.SetArmed(false)
+	for i := 0; i < 10; i++ {
+		if _, err := f.Get(ctx, "k"); err != nil {
+			t.Fatalf("disarmed get %d failed: %v", i, err)
+		}
+	}
+	if f.Stats().Total() != 0 {
+		t.Fatal("disarmed wrapper injected faults")
+	}
+	// Disarmed ops must not consume schedule positions: the first armed op
+	// is still sequence 1, which faults under rate 1.
+	f.SetArmed(true)
+	if _, err := f.Get(ctx, "k"); err == nil {
+		t.Fatal("first armed get should fault")
+	}
+}
+
+func TestFaultyErrorsAreRetryable(t *testing.T) {
+	ctx := context.Background()
+	f := NewFaulty(NewMemory(), FaultConfig{GetErrRate: 1, PutErrRate: 1, MetaErrRate: 1, RangeErrRate: 1})
+	if _, err := f.Get(ctx, "k"); !IsRetryable(err) {
+		t.Fatalf("injected Get error not retryable: %v", err)
+	}
+	if _, err := f.GetRange(ctx, "k", 0, 1); !IsRetryable(err) {
+		t.Fatalf("injected GetRange error not retryable: %v", err)
+	}
+	if err := f.Put(ctx, "k", []byte("v")); !IsRetryable(err) {
+		t.Fatalf("injected Put error not retryable: %v", err)
+	}
+	if _, err := f.Size(ctx, "k"); !IsRetryable(err) {
+		t.Fatalf("injected Size error not retryable: %v", err)
+	}
+}
+
+func TestFaultyStallBlocksUntilContextDeadline(t *testing.T) {
+	mem := NewMemory()
+	f := NewFaulty(mem, FaultConfig{StallRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Get(ctx, "k")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stall returned %v, want the context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("stall returned after %v, before the deadline", elapsed)
+	}
+	// Stalls must not be retryable on their own: without a Retry OpTimeout
+	// the caller's context died, and retrying for it is forbidden.
+	if IsRetryable(err) {
+		t.Fatal("stall context error classified retryable")
+	}
+}
+
+func TestFaultyPartialReadChargesSimulatedNetwork(t *testing.T) {
+	// A partial read transfers its prefix through the inner provider, so a
+	// Sim layer below really pays for the wasted bytes.
+	ctx := context.Background()
+	profile := simnet.Profile{
+		Name: "test", ReadLatency: time.Millisecond, WriteLatency: time.Millisecond,
+		ReadBytesPerSec: 1 << 30, WriteBytesPerSec: 1 << 30, Lanes: 4, TimeScale: 1000,
+	}
+	sim := NewSim(NewMemory(), profile)
+	if err := sim.Put(ctx, "k", make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	counting := NewCounting(sim)
+	f := NewFaulty(counting, FaultConfig{PartialRate: 1, PartialBytes: 4096, MaxFaults: 1})
+	_, err := f.Get(ctx, "k")
+	if !IsRetryable(err) {
+		t.Fatalf("partial read error not retryable: %v", err)
+	}
+	snap := counting.Snapshot()
+	if snap.RangeGets != 1 || snap.BytesRead != 4096 {
+		t.Fatalf("partial read charged %d range gets / %d bytes, want 1 / 4096", snap.RangeGets, snap.BytesRead)
+	}
+	if f.Stats().Partials != 1 {
+		t.Fatalf("partials = %d, want 1", f.Stats().Partials)
+	}
+}
+
+func TestFaultyConcurrentUseIsSafe(t *testing.T) {
+	// Hammer every op class from many goroutines under -race; totals must
+	// reconcile with the per-class sequence counters.
+	ctx := context.Background()
+	mem := NewMemory()
+	if err := mem.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(mem, FaultConfig{Seed: 5, GetErrRate: 0.2, PutErrRate: 0.2, MetaErrRate: 0.2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, _ = f.Get(ctx, "k")
+				_ = f.Put(ctx, "w", []byte("x"))
+				_, _ = f.Exists(ctx, "k")
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Stats().Total() == 0 {
+		t.Fatal("no faults injected across 2400 ops at 20% rates")
+	}
+}

@@ -99,6 +99,9 @@ func NewShardedLRU(origin Provider, capacity int64, shards int) *LRU {
 // Origin returns the wrapped provider.
 func (l *LRU) Origin() Provider { return l.origin }
 
+// Unwrap returns the wrapped provider (the chain-walking alias of Origin).
+func (l *LRU) Unwrap() Provider { return l.origin }
+
 // NumShards returns the shard count.
 func (l *LRU) NumShards() int { return len(l.shards) }
 
@@ -127,7 +130,9 @@ type ShardStats struct {
 }
 
 // Stats aggregates cache counters: totals across shards plus the per-shard
-// breakdown, and the number of origin fetches avoided by read coalescing.
+// breakdown, the number of origin fetches avoided by read coalescing, and —
+// when a Retry or Faulty layer sits below this cache in the provider chain —
+// the resilience counters (origin re-attempts, injected faults).
 type Stats struct {
 	// Hits and Misses are summed over all shards.
 	Hits, Misses int64
@@ -136,11 +141,18 @@ type Stats struct {
 	Coalesced int64
 	// UsedBytes is the total resident payload size.
 	UsedBytes int64
+	// Retries counts origin re-attempts issued by a Retry layer below this
+	// cache (0 when none is stacked).
+	Retries int64
+	// Faults counts faults injected by a Faulty layer below this cache
+	// (0 when none is stacked).
+	Faults int64
 	// Shards is the per-shard breakdown, indexed by shard number.
 	Shards []ShardStats
 }
 
-// Stats reports cache counters across all shards.
+// Stats reports cache counters across all shards, plus retry/fault counters
+// gathered by walking the origin chain through Unwrap.
 func (l *LRU) Stats() Stats {
 	s := Stats{Coalesced: l.coalesced.Load(), Shards: make([]ShardStats, len(l.shards))}
 	for i, sh := range l.shards {
@@ -151,6 +163,19 @@ func (l *LRU) Stats() Stats {
 		s.Hits += ss.Hits
 		s.Misses += ss.Misses
 		s.UsedBytes += ss.UsedBytes
+	}
+	for p := l.origin; p != nil; {
+		switch v := p.(type) {
+		case *Retry:
+			s.Retries += v.Stats().Retries
+		case *Faulty:
+			s.Faults += v.Stats().Total()
+		}
+		u, ok := p.(interface{ Unwrap() Provider })
+		if !ok {
+			break
+		}
+		p = u.Unwrap()
 	}
 	return s
 }

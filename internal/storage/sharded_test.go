@@ -188,15 +188,15 @@ func TestShardedLRUTable(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			origin.Gets = 0
+			origin.Reset()
 			for i := 0; i < keys; i++ {
 				got, err := cache.Get(ctx, fmt.Sprintf("k%03d", i))
 				if err != nil || len(got) != 1 || got[0] != byte(i) {
 					t.Fatalf("Get k%03d = %v, %v", i, got, err)
 				}
 			}
-			if origin.Gets != 0 {
-				t.Fatalf("origin Gets = %d, want 0 (all resident)", origin.Gets)
+			if gets := origin.Snapshot().Gets; gets != 0 {
+				t.Fatalf("origin Gets = %d, want 0 (all resident)", gets)
 			}
 
 			stats := cache.Stats()
@@ -318,8 +318,8 @@ func TestNewLRUShardCountScalesToCapacity(t *testing.T) {
 	if _, err := cache.Get(ctx, "chunk"); err != nil {
 		t.Fatal(err)
 	}
-	if origin.Gets != 0 {
-		t.Fatalf("origin Gets = %d, want 0 (chunk resident)", origin.Gets)
+	if gets := origin.Snapshot().Gets; gets != 0 {
+		t.Fatalf("origin Gets = %d, want 0 (chunk resident)", gets)
 	}
 }
 
@@ -458,7 +458,7 @@ func TestShardedLRUStress(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	origin.Puts = 0
+	origin.Reset()
 	cache := NewShardedLRU(origin, 1<<20, 8)
 
 	const goroutines, rounds = 32, 200
@@ -487,8 +487,9 @@ func TestShardedLRUStress(t *testing.T) {
 	}
 	wg.Wait()
 
-	if origin.Gets > keys {
-		t.Fatalf("origin Gets = %d for %d keys; misses not coalesced/cached", origin.Gets, keys)
+	originGets := origin.Snapshot().Gets
+	if originGets > keys {
+		t.Fatalf("origin Gets = %d for %d keys; misses not coalesced/cached", originGets, keys)
 	}
 	stats := cache.Stats()
 	total := goroutines * rounds
@@ -498,9 +499,9 @@ func TestShardedLRUStress(t *testing.T) {
 			stats.Hits, stats.Misses, stats.Hits+stats.Misses, total)
 	}
 	// Misses that did not reach the origin must be accounted as coalesced.
-	if stats.Misses-stats.Coalesced != origin.Gets {
+	if stats.Misses-stats.Coalesced != originGets {
 		t.Fatalf("misses(%d) - coalesced(%d) = %d, want origin Gets %d",
-			stats.Misses, stats.Coalesced, stats.Misses-stats.Coalesced, origin.Gets)
+			stats.Misses, stats.Coalesced, stats.Misses-stats.Coalesced, originGets)
 	}
 	var wantUsed int64
 	for _, v := range want {

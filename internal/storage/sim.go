@@ -32,9 +32,15 @@ func (s *Sim) Network() *simnet.Network { return s.net }
 // Inner returns the wrapped provider.
 func (s *Sim) Inner() Provider { return s.inner }
 
-// Get implements Provider.
+// Unwrap returns the wrapped provider (the chain-walking alias of Inner).
+func (s *Sim) Unwrap() Provider { return s.inner }
+
+// Get implements Provider. Exactly one inner call and one network charge per
+// logical request: anything stacked below (fault injection, counting) sees a
+// Get as a single origin touch, and the object cannot change between a
+// separate size probe and the read.
 func (s *Sim) Get(ctx context.Context, key string) ([]byte, error) {
-	size, err := s.inner.Size(ctx, key)
+	data, err := s.inner.Get(ctx, key)
 	if err != nil {
 		// A failed lookup still costs a round trip.
 		if nerr := s.net.Read(ctx, 0); nerr != nil {
@@ -42,10 +48,10 @@ func (s *Sim) Get(ctx context.Context, key string) ([]byte, error) {
 		}
 		return nil, err
 	}
-	if err := s.net.Read(ctx, int(size)); err != nil {
+	if err := s.net.Read(ctx, len(data)); err != nil {
 		return nil, err
 	}
-	return s.inner.Get(ctx, key)
+	return data, nil
 }
 
 // GetRange implements Provider.

@@ -3,6 +3,35 @@
 // (chunks, encoders, metadata files) that can live on object storage, a POSIX
 // filesystem, or in memory, and providers can be chained — most importantly
 // an LRU cache of a remote store backed by local memory.
+//
+// # Error classification contract
+//
+// Two predicates classify provider errors across the whole chain:
+//
+//   - IsNotFound(err): the key does not exist. Permanent; never retried.
+//   - IsRetryable(err): a transient origin failure (marked with ErrTransient
+//     or an interface{ Transient() bool }) that a Retry wrapper may safely
+//     re-attempt. Context errors and ErrNotFound are never retryable.
+//
+// Every wrapper in the chain (Prefix, Sim, LRU, Counting, Flaky, Faulty,
+// Retry) must keep these predicates working through it: return inner errors
+// unchanged, or wrap them with fmt.Errorf("...: %w", err) so errors.Is/As
+// still see the sentinels. A wrapper that flattens an inner error into a new
+// string breaks retry classification for everything stacked above it.
+// Providers signal a missing key with ErrNotFound (wrapped or bare) and mark
+// only genuinely momentary failures transient — never validation errors.
+//
+// # Resilient chain order
+//
+// The canonical resilient read chain is, outermost first:
+//
+//	LRU (singleflight + cache) -> Retry -> Counting -> Sim/S3 origin
+//
+// Retry sits below the LRU's singleflight so that when N readers coalesce on
+// one miss, a transient origin fault is retried once by the flight leader on
+// behalf of all N waiters — one extra origin request total, not N recovery
+// storms. Counting placed below Retry observes per-attempt traffic; placed
+// above it, logical (net-of-retries) traffic.
 package storage
 
 import (

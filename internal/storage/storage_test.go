@@ -150,7 +150,7 @@ func TestLRUHitsAndEviction(t *testing.T) {
 	if err := cache.Put(ctx, "b", make([]byte, 40)); err != nil {
 		t.Fatal(err)
 	}
-	origin.Gets = 0
+	origin.Reset()
 
 	// Both resident: no origin reads.
 	if _, err := cache.Get(ctx, "a"); err != nil {
@@ -159,8 +159,8 @@ func TestLRUHitsAndEviction(t *testing.T) {
 	if _, err := cache.Get(ctx, "b"); err != nil {
 		t.Fatal(err)
 	}
-	if origin.Gets != 0 {
-		t.Fatalf("origin Gets = %d, want 0 (cache hits)", origin.Gets)
+	if gets := origin.Snapshot().Gets; gets != 0 {
+		t.Fatalf("origin Gets = %d, want 0 (cache hits)", gets)
 	}
 
 	// Insert c (40 bytes): capacity 100 forces eviction of LRU entry.
@@ -171,8 +171,8 @@ func TestLRUHitsAndEviction(t *testing.T) {
 	if _, err := cache.Get(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
-	if origin.Gets != 1 {
-		t.Fatalf("origin Gets = %d, want 1 (a was evicted)", origin.Gets)
+	if gets := origin.Snapshot().Gets; gets != 1 {
+		t.Fatalf("origin Gets = %d, want 1 (a was evicted)", gets)
 	}
 	stats := cache.Stats()
 	if stats.Hits == 0 || stats.Misses == 0 {
@@ -196,8 +196,8 @@ func TestLRUOversizeObjectBypassesCache(t *testing.T) {
 	if _, err := cache.Get(ctx, "big"); err != nil {
 		t.Fatal(err)
 	}
-	if origin.Gets != 1 {
-		t.Fatalf("origin Gets = %d, want 1", origin.Gets)
+	if gets := origin.Snapshot().Gets; gets != 1 {
+		t.Fatalf("origin Gets = %d, want 1", gets)
 	}
 }
 
@@ -294,11 +294,12 @@ func TestCountingCounts(t *testing.T) {
 	if _, err := c.GetRange(ctx, "k", 0, 2); err != nil {
 		t.Fatal(err)
 	}
-	if c.Puts != 1 || c.Gets != 1 || c.RangeGets != 1 {
-		t.Fatalf("counts = %d/%d/%d, want 1/1/1", c.Puts, c.Gets, c.RangeGets)
+	snap := c.Snapshot()
+	if snap.Puts != 1 || snap.Gets != 1 || snap.RangeGets != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 1/1/1", snap.Puts, snap.Gets, snap.RangeGets)
 	}
-	if c.BytesWritten != 4 || c.BytesRead != 6 {
-		t.Fatalf("bytes = w%d r%d, want w4 r6", c.BytesWritten, c.BytesRead)
+	if snap.BytesWritten != 4 || snap.BytesRead != 6 {
+		t.Fatalf("bytes = w%d r%d, want w4 r6", snap.BytesWritten, snap.BytesRead)
 	}
 	if c.Requests() != 2 {
 		t.Fatalf("Requests = %d, want 2", c.Requests())

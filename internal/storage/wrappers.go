@@ -25,6 +25,10 @@ func NewPrefix(inner Provider, prefix string) *Prefix {
 
 func (p *Prefix) key(k string) string { return p.prefix + k }
 
+// Unwrap returns the wrapped provider. Prefix forwards inner errors
+// unchanged, so ErrNotFound / ErrTransient classification survives it.
+func (p *Prefix) Unwrap() Provider { return p.inner }
+
 // Get implements Provider.
 func (p *Prefix) Get(ctx context.Context, key string) ([]byte, error) {
 	return p.inner.Get(ctx, p.key(key))
@@ -69,47 +73,88 @@ func (p *Prefix) Size(ctx context.Context, key string) (int64, error) {
 }
 
 // Counting wraps a provider and tallies operations and bytes moved, used by
-// benchmarks to report request counts alongside wall time.
+// benchmarks to report request counts alongside wall time. All counters are
+// atomic: read them with Snapshot and zero them with Reset, so a benchmark
+// can reset between phases while readers are still in flight without racing.
 type Counting struct {
 	inner Provider
 
-	Gets, RangeGets, Puts, Deletes, Lists int64
-	BytesRead, BytesWritten               int64
+	gets, rangeGets, puts, deletes, lists atomic.Int64
+	bytesRead, bytesWritten               atomic.Int64
 }
 
 // NewCounting wraps inner with operation counters.
 func NewCounting(inner Provider) *Counting { return &Counting{inner: inner} }
 
+// Unwrap returns the wrapped provider.
+func (c *Counting) Unwrap() Provider { return c.inner }
+
+// CountingStats is a point-in-time copy of a Counting wrapper's counters.
+type CountingStats struct {
+	// Gets, RangeGets, Puts, Deletes and Lists count operations by kind.
+	Gets, RangeGets, Puts, Deletes, Lists int64
+	// BytesRead and BytesWritten total successful payload transfer.
+	BytesRead, BytesWritten int64
+}
+
+// Requests is the read-path request count (Gets + RangeGets).
+func (s CountingStats) Requests() int64 { return s.Gets + s.RangeGets }
+
+// Snapshot copies the current counter values.
+func (c *Counting) Snapshot() CountingStats {
+	return CountingStats{
+		Gets:         c.gets.Load(),
+		RangeGets:    c.rangeGets.Load(),
+		Puts:         c.puts.Load(),
+		Deletes:      c.deletes.Load(),
+		Lists:        c.lists.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+	}
+}
+
+// Reset atomically zeroes every counter, starting a fresh measurement
+// window.
+func (c *Counting) Reset() {
+	c.gets.Store(0)
+	c.rangeGets.Store(0)
+	c.puts.Store(0)
+	c.deletes.Store(0)
+	c.lists.Store(0)
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
+}
+
 // Get implements Provider.
 func (c *Counting) Get(ctx context.Context, key string) ([]byte, error) {
-	atomic.AddInt64(&c.Gets, 1)
+	c.gets.Add(1)
 	data, err := c.inner.Get(ctx, key)
 	if err == nil {
-		atomic.AddInt64(&c.BytesRead, int64(len(data)))
+		c.bytesRead.Add(int64(len(data)))
 	}
 	return data, err
 }
 
 // GetRange implements Provider.
 func (c *Counting) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
-	atomic.AddInt64(&c.RangeGets, 1)
+	c.rangeGets.Add(1)
 	data, err := c.inner.GetRange(ctx, key, offset, length)
 	if err == nil {
-		atomic.AddInt64(&c.BytesRead, int64(len(data)))
+		c.bytesRead.Add(int64(len(data)))
 	}
 	return data, err
 }
 
 // Put implements Provider.
 func (c *Counting) Put(ctx context.Context, key string, data []byte) error {
-	atomic.AddInt64(&c.Puts, 1)
-	atomic.AddInt64(&c.BytesWritten, int64(len(data)))
+	c.puts.Add(1)
+	c.bytesWritten.Add(int64(len(data)))
 	return c.inner.Put(ctx, key, data)
 }
 
 // Delete implements Provider.
 func (c *Counting) Delete(ctx context.Context, key string) error {
-	atomic.AddInt64(&c.Deletes, 1)
+	c.deletes.Add(1)
 	return c.inner.Delete(ctx, key)
 }
 
@@ -120,7 +165,7 @@ func (c *Counting) Exists(ctx context.Context, key string) (bool, error) {
 
 // List implements Provider.
 func (c *Counting) List(ctx context.Context, prefix string) ([]string, error) {
-	atomic.AddInt64(&c.Lists, 1)
+	c.lists.Add(1)
 	return c.inner.List(ctx, prefix)
 }
 
@@ -131,7 +176,7 @@ func (c *Counting) Size(ctx context.Context, key string) (int64, error) {
 
 // Requests returns the total read-path request count.
 func (c *Counting) Requests() int64 {
-	return atomic.LoadInt64(&c.Gets) + atomic.LoadInt64(&c.RangeGets)
+	return c.gets.Load() + c.rangeGets.Load()
 }
 
 // Flaky injects failures into a provider for failure-injection tests: every
@@ -145,10 +190,15 @@ type Flaky struct {
 	count int64
 }
 
-// NewFlaky returns a provider that fails every n-th read with err.
+// NewFlaky returns a provider that fails every n-th read with err. Pass a
+// Transient-wrapped error to make the failures recoverable by a Retry layer;
+// see Faulty for rate-based schedules, stalls and partial reads.
 func NewFlaky(inner Provider, n int64, err error) *Flaky {
 	return &Flaky{inner: inner, every: n, err: err}
 }
+
+// Unwrap returns the wrapped provider.
+func (f *Flaky) Unwrap() Provider { return f.inner }
 
 func (f *Flaky) tick() error {
 	f.mu.Lock()

@@ -1,0 +1,82 @@
+package tql
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// The scan chaos suite: run with -race. A chunk-partitioned parallel scan
+// over a faulty origin must fail loudly (with the transient classification
+// intact) when no retry layer is stacked, and must produce exactly the
+// fault-free result set when one is.
+
+const chaosScanQuery = `SELECT labels FROM scan WHERE MEAN(x) >= 0`
+
+func TestScanSurfacesMidScanFaults(t *testing.T) {
+	ctx := context.Background()
+	mem := storage.NewMemory()
+	scanDataset(t, mem, 60, []int{8})
+
+	faulty := storage.NewFaulty(mem, storage.FaultConfig{Seed: 31, GetErrRate: 0.5, RangeErrRate: 0.5})
+	faulty.SetArmed(false)
+	ds, err := core.Open(ctx, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty.SetArmed(true)
+	_, err = RunWith(ctx, ds, chaosScanQuery, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("full scan over a 50 percent faulty origin with no retry layer succeeded")
+	}
+	if !storage.IsRetryable(err) {
+		t.Fatalf("scan flattened the transient classification: %v", err)
+	}
+}
+
+func TestScanMatchesCleanResultThroughRetry(t *testing.T) {
+	ctx := context.Background()
+	mem := storage.NewMemory()
+	cds := scanDataset(t, mem, 60, []int{4, 6, 8})
+
+	want, err := RunWith(ctx, cds, chaosScanQuery, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := storage.NewFaulty(mem, storage.FaultConfig{
+		Seed: 31, GetErrRate: 0.3, RangeErrRate: 0.3, StallRate: 0.05,
+	})
+	faulty.SetArmed(false)
+	retry := storage.NewRetry(faulty, storage.RetryOptions{
+		Attempts:  6,
+		OpTimeout: 50 * time.Millisecond,
+		Backoff:   storage.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Seed: 31},
+	})
+	ds, err := core.Open(ctx, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty.SetArmed(true)
+	got, err := RunWith(ctx, ds, chaosScanQuery, Options{Workers: 4})
+	faulty.SetArmed(false)
+	if err != nil {
+		t.Fatalf("retry layer leaked a fault into the scan: %v", err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("faulty scan matched %d rows, clean scan %d", got.Len(), want.Len())
+	}
+	if !reflect.DeepEqual(got.Indices(), want.Indices()) {
+		t.Fatal("faulty scan selected different rows than the clean scan")
+	}
+	if faulty.Stats().Total() == 0 {
+		t.Fatal("fault schedule injected nothing; recovery untested")
+	}
+	if retry.Stats().Retries == 0 {
+		t.Fatal("no retries recorded despite injected faults")
+	}
+}

@@ -61,8 +61,7 @@ func TestShapeOnlyWhereZeroChunkGets(t *testing.T) {
 	count := storage.NewCounting(storage.NewMemory())
 	ds := scanDataset(t, count, 60, []int{4, 6, 8})
 	for _, workers := range []int{1, 16} {
-		atomic.StoreInt64(&count.Gets, 0)
-		atomic.StoreInt64(&count.RangeGets, 0)
+		count.Reset()
 		v, err := RunWith(ctx, ds, "SELECT labels FROM scan WHERE SHAPE(x)[0] >= 6 AND SIZE(x) <= 36", Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
@@ -134,7 +133,7 @@ func TestPartialPushdownPrefiltersChunkIO(t *testing.T) {
 	if total < 8 {
 		t.Fatalf("dataset too coarse: %d chunks", total)
 	}
-	atomic.StoreInt64(&count.Gets, 0)
+	count.Reset()
 	v, err := RunWith(ctx, ds, "SELECT labels FROM scan WHERE ROW() < 8 AND MEAN(x) >= 0", Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +141,7 @@ func TestPartialPushdownPrefiltersChunkIO(t *testing.T) {
 	if v.Len() != 8 {
 		t.Fatalf("rows = %d, want 8", v.Len())
 	}
-	gets := atomic.LoadInt64(&count.Gets)
+	gets := count.Snapshot().Gets
 	if gets == 0 || gets >= int64(total) {
 		t.Fatalf("prefiltered scan fetched %d of %d chunks; want a strict subset covering rows 0-7", gets, total)
 	}
@@ -158,7 +157,7 @@ func TestChunkAwareScanFetchesEachChunkOnce(t *testing.T) {
 	ds := scanDataset(t, count, 60, []int{8})
 	total := int64(ds.Tensor("x").NumChunks())
 	for _, workers := range []int{1, 4, 16} {
-		atomic.StoreInt64(&count.Gets, 0)
+		count.Reset()
 		v, err := RunWith(ctx, ds, "SELECT labels FROM scan WHERE MEAN(x) >= 0", Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
@@ -166,7 +165,7 @@ func TestChunkAwareScanFetchesEachChunkOnce(t *testing.T) {
 		if v.Len() != 60 {
 			t.Fatalf("workers=%d rows = %d, want 60", workers, v.Len())
 		}
-		if gets := atomic.LoadInt64(&count.Gets); gets != total {
+		if gets := count.Snapshot().Gets; gets != total {
 			t.Fatalf("workers=%d fetched %d chunk(s), want exactly %d (one per chunk)", workers, gets, total)
 		}
 	}

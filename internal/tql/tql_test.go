@@ -343,8 +343,7 @@ func TestShapePushdownAvoidsChunkIO(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	count.Gets = 0
-	count.RangeGets = 0
+	count.Reset()
 	v, err := Run(ctx, ds, "SELECT SHAPE(x)[0] as h FROM shapes WHERE SHAPE(x)[0] == 6")
 	if err != nil {
 		t.Fatal(err)
@@ -352,8 +351,8 @@ func TestShapePushdownAvoidsChunkIO(t *testing.T) {
 	if v.Len() != 15 {
 		t.Fatalf("rows = %d", v.Len())
 	}
-	if count.Gets+count.RangeGets != 0 {
-		t.Fatalf("shape-only filter did %d chunk reads; want 0 (pushdown)", count.Gets+count.RangeGets)
+	if snap := count.Snapshot(); snap.Gets+snap.RangeGets != 0 {
+		t.Fatalf("shape-only filter did %d chunk reads; want 0 (pushdown)", snap.Gets+snap.RangeGets)
 	}
 
 	// Plan marks the pushdown.
