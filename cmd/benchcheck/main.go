@@ -15,8 +15,10 @@
 //	benchcheck [-baseline DIR] [-tolerance FRAC] [-tolerance-for id=FRAC]... \
 //	           BENCH_a.json [BENCH_b.json ...]
 //
-// Refresh baselines by re-running the same benchfig invocation CI uses with
-// -json-dir pointed at the baseline directory.
+// Refresh baselines with -update-baselines: instead of checking, each given
+// report is rewritten into the baseline directory as BENCH_<id>.json
+// (normalised, sorted keys), ready to commit. Use after an intentional perf
+// change so the gate tracks the new level instead of the stale one.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 
 func main() {
 	baselineDir := flag.String("baseline", "ci/baselines", "directory holding baseline BENCH_<id>.json files")
+	update := flag.Bool("update-baselines", false, "rewrite the baseline files from the given reports instead of checking")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed regression fraction")
 	perScenario := map[string]float64{}
 	flag.Func("tolerance-for", "per-scenario tolerance override, id=FRAC (repeatable)", func(s string) error {
@@ -62,6 +65,15 @@ func main() {
 			continue
 		}
 		basePath := filepath.Join(*baselineDir, "BENCH_"+cur.ID+".json")
+		if *update {
+			if err := writeBaseline(basePath, cur); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", basePath, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("updated %s (%d rows from %s)\n", basePath, len(cur.Rows), path)
+			continue
+		}
 		base, err := readReport(basePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: %s: no baseline (%v) — run benchfig -json -json-dir %s to create one\n",
@@ -80,6 +92,20 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeBaseline normalises a report through the bench.Report type (so stray
+// fields in a hand-edited file don't survive) and writes it where the checker
+// will look for it.
+func writeBaseline(path string, rep *bench.Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func readReport(path string) (*bench.Report, error) {

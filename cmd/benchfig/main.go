@@ -12,7 +12,21 @@
 // Usage:
 //
 //	benchfig [-n N] [-workers W] [-side PX] [-json [-json-dir DIR]] \
+//	         [-fetch-batch CHUNKS] [-autotune-cap BYTES] \
 //	         [fig6|fig7|fig8|fig9|fig10|readers|tql|ingest|train|ablations|all]
+//
+// The absolute-throughput knobs (train scenario):
+//
+//   - -fetch-batch sets how many upcoming chunks the readahead scheduler
+//     hands to the storage fetch planner per strip; near-adjacent chunks
+//     coalesce into single batched ranged origin requests. 0 keeps the
+//     scenario default (32); negative disables batching, restoring
+//     one-request-per-chunk for A/B comparison.
+//   - -autotune-cap sets the ingest chunk-size autotuner's ceiling in bytes.
+//     The train scenario ingests under deliberately pathological static
+//     bounds and lets the autotuner grow chunks toward this cap; 0 keeps
+//     the scenario default (16KiB at toy scale), negative disables the
+//     autotuner entirely to measure the untuned layout.
 package main
 
 import (
@@ -36,6 +50,8 @@ func main() {
 	workers := flag.Int("workers", 8, "loader/ingest parallelism")
 	side := flag.Int("side", 0, "override synthetic image edge length (0 = figure default)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	fetchBatch := flag.Int("fetch-batch", 0, "train: chunks per coalesced prefetch strip (0 = default 32, negative disables batching)")
+	autotuneCap := flag.Int("autotune-cap", 0, "train: ingest chunk autotuner cap in bytes (0 = default, negative disables)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<scenario>.json with the measured series")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output")
 	flag.Parse()
@@ -71,7 +87,10 @@ func main() {
 		want[t] = true
 	}
 	run := func(r runner) {
-		cfg := bench.Config{N: *n, Workers: *workers, ImageSide: *side, Seed: *seed}
+		cfg := bench.Config{
+			N: *n, Workers: *workers, ImageSide: *side, Seed: *seed,
+			FetchBatch: *fetchBatch, AutotuneCapBytes: *autotuneCap,
+		}
 		if cfg.N == 0 {
 			cfg.N = r.def
 		}

@@ -137,6 +137,14 @@ type Config struct {
 	ImageSide int
 	// Seed drives the deterministic generators.
 	Seed int64
+	// FetchBatch overrides the train scenario's coalesced-prefetch strip
+	// width (chunks per batched ranged origin request; 0 = scenario
+	// default of 32, negative disables batching).
+	FetchBatch int
+	// AutotuneCapBytes overrides the train scenario's ingest chunk-size
+	// autotuner ceiling (0 = scenario default; negative disables the
+	// autotuner, leaving the deliberately pathological static bounds).
+	AutotuneCapBytes int
 }
 
 func (c Config) withDefaults(defaultN int) Config {

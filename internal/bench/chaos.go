@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/dataloader"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/tensor"
@@ -47,10 +49,16 @@ func Chaos(ctx context.Context, cfg Config) (*Result, error) {
 		Better: "lower",
 	}
 	res.Notes = append(res.Notes,
-		"chain: LRU/loader cache -> Retry (capped exp backoff, per-op timeout) -> Counting -> Faulty -> sim S3",
-		"every row asserts a recovery contract: byte-identical delivery, fetch-once net of retries, one extra request per coalesced fault")
+		"chain: LRU byte cache (coalesced fetch plans) + loader cache -> Counting (logical ledger) -> Retry (capped exp backoff, per-op timeout) -> Faulty -> sim S3",
+		"every row asserts a recovery contract: byte-identical delivery, fetch-once net of retries, one extra request per faulted batch, deterministic worker-death errors")
 
 	if err := chaosHotChunk(ctx, cfg, res); err != nil {
+		return nil, err
+	}
+	if err := chaosBatchedFetch(ctx, cfg, res); err != nil {
+		return nil, err
+	}
+	if err := chaosWorkerDeath(ctx, cfg, res); err != nil {
 		return nil, err
 	}
 	if err := chaosTrain(ctx, cfg, res); err != nil {
@@ -130,6 +138,153 @@ func chaosHotChunk(ctx context.Context, cfg Config, res *Result) error {
 	return nil
 }
 
+// chaosBatchedFetch is the coalesced-fetch analogue of the hot-chunk litmus:
+// the LRU's fetch planner packs N cold chunks into ONE batched ranged origin
+// request, and that request is forced to fault mid-batch. The batch contract
+// (ranges served before the cut stay served) plus Retry's missing-only
+// re-issue must make the fault cost exactly ONE extra origin request — never
+// a resend of bytes already received, never one recovery request per waiter.
+func chaosBatchedFetch(ctx context.Context, cfg Config, res *Result) error {
+	mem := storage.NewMemory()
+	const chunks = 12
+	const chunkBytes = 64 << 10
+	keys := make([]string, chunks)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cold/chunk-%03d", i)
+		if err := mem.Put(ctx, keys[i], bytes.Repeat([]byte{byte(i)}, chunkBytes)); err != nil {
+			return err
+		}
+	}
+	// MaxFaults 1 + GetErrRate 1: the first batched get faults at a seeded
+	// mid-batch cut point, everything after passes.
+	faulty := storage.NewFaulty(mem, storage.FaultConfig{Seed: cfg.Seed, GetErrRate: 1, MaxFaults: 1})
+	attempts := storage.NewCounting(faulty)
+	retry := storage.NewRetry(attempts, storage.RetryOptions{
+		Attempts: 4,
+		Backoff:  storage.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Seed: cfg.Seed},
+	})
+	cache := storage.NewLRU(retry, 1<<30)
+
+	fetched, err := cache.Prefetch(ctx, keys, storage.PlanOptions{SizeHint: chunkBytes})
+	if err != nil {
+		return fmt.Errorf("chaos: coalesced prefetch failed (batch fault leaked past retry): %w", err)
+	}
+	if fetched != chunks {
+		return fmt.Errorf("chaos: coalesced prefetch landed %d/%d chunks", fetched, chunks)
+	}
+	snap := attempts.Snapshot()
+	if snap.BatchGets != 2 {
+		return fmt.Errorf("chaos: one mid-batch fault cost %d batched origin requests, want exactly 2 (the batch + one missing-tail retry)", snap.BatchGets)
+	}
+	if snap.BatchRanges >= 2*chunks {
+		return fmt.Errorf("chaos: retry resent already-received ranges (%d wire ranges for %d chunks)", snap.BatchRanges, chunks)
+	}
+	if snap.Gets != 0 || snap.RangeGets != 0 {
+		return fmt.Errorf("chaos: recovery degraded to per-chunk requests: %+v", snap)
+	}
+	// Every chunk must now be cache-resident and intact, with zero further
+	// origin traffic.
+	for i, key := range keys {
+		data, err := cache.Get(ctx, key)
+		if err != nil {
+			return err
+		}
+		if len(data) != chunkBytes || data[0] != byte(i) || data[chunkBytes-1] != byte(i) {
+			return fmt.Errorf("chaos: chunk %q corrupted through the faulted batch", key)
+		}
+	}
+	if after := attempts.Snapshot(); after.Requests() != snap.Requests() {
+		return fmt.Errorf("chaos: post-prefetch reads reached the origin (%d -> %d requests)", snap.Requests(), after.Requests())
+	}
+	res.Rows = append(res.Rows, Row{
+		Name: "batched-fault-extra-requests", Value: float64(snap.BatchGets - 1), Unit: "reqs",
+		Extra: fmt.Sprintf("%d chunks in one fetch plan, %d batched requests, %d wire ranges (fault cut mid-batch)",
+			chunks, snap.BatchGets, snap.BatchRanges),
+	})
+	return nil
+}
+
+// chaosWorkerDeath kills a dataloader worker goroutine mid-epoch (user code
+// calling runtime.Goexit inside a Transform — the Go analogue of a worker
+// process dying) and asserts the deterministic error-delivery contract: the
+// delivered rows are an in-order prefix of full batches strictly before the
+// dying row's delivery position, and Loader.Err reports ErrWorkerDied with
+// that position — identically on every run and at any worker count.
+func chaosWorkerDeath(ctx context.Context, cfg Config, res *Result) error {
+	rows := cfg.N
+	if rows > 128 {
+		rows = 128
+	}
+	killRow := rows / 2
+	mem := storage.NewMemory()
+	ds, err := core.Create(ctx, mem, "chaos-death")
+	if err != nil {
+		return err
+	}
+	x, err := ds.CreateTensor(ctx, core.TensorSpec{
+		Name: "x", Dtype: tensor.Int32,
+		Bounds: chunk.Bounds{Min: 128, Target: 256, Max: 512},
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		arr, err := tensor.FromFloat64s(tensor.Int32, []int{4},
+			[]float64{float64(i), float64(i + 1), float64(i + 2), float64(i + 3)})
+		if err != nil {
+			return err
+		}
+		if err := x.Append(ctx, arr); err != nil {
+			return err
+		}
+	}
+	if err := ds.Flush(ctx); err != nil {
+		return err
+	}
+
+	var errTexts []string
+	for run, workers := range []int{1, cfg.Workers} {
+		l := dataloader.ForDataset(ds, dataloader.Options{
+			BatchSize: 8, Workers: workers,
+			Transform: func(s map[string]*tensor.NDArray) (map[string]*tensor.NDArray, error) {
+				if v, _ := s["x"].At(0); int(v) == killRow {
+					runtime.Goexit() // the kill: this worker goroutine dies here
+				}
+				return s, nil
+			},
+		})
+		next := 0
+		for b := range l.Batches(ctx) {
+			if len(b.Samples) != 8 {
+				return fmt.Errorf("chaos: worker death leaked a partial batch of %d (run %d, %d workers)", len(b.Samples), run, workers)
+			}
+			for _, s := range b.Samples {
+				if v, _ := s["x"].At(0); int(v) != next {
+					return fmt.Errorf("chaos: row %v delivered out of order after worker death (want %d)", v, next)
+				}
+				next++
+			}
+		}
+		if next > killRow {
+			return fmt.Errorf("chaos: %d rows delivered at/past the dying row %d", next, killRow)
+		}
+		err := l.Err()
+		if !errors.Is(err, dataloader.ErrWorkerDied) {
+			return fmt.Errorf("chaos: worker death surfaced as %v, want ErrWorkerDied (silent truncation?)", err)
+		}
+		errTexts = append(errTexts, err.Error())
+	}
+	if errTexts[0] != errTexts[1] {
+		return fmt.Errorf("chaos: worker-death error not deterministic across worker counts: %q vs %q", errTexts[0], errTexts[1])
+	}
+	res.Rows = append(res.Rows, Row{
+		Name: "worker-death-kill-position", Value: float64(killRow), Unit: "row",
+		Extra: fmt.Sprintf("goroutine killed at row %d of %d; in-order prefix delivered, then %q — identical at 1 and %d workers",
+			killRow, rows, errTexts[0], cfg.Workers),
+	})
+	return nil
+}
+
 // chaosTrain streams one shuffled epoch over a faulty origin and proves the
 // delivered batch stream is byte-identical to the fault-free epoch, with the
 // logical request ledger (counted above Retry, so net of recovery traffic)
@@ -164,7 +319,12 @@ func chaosTrain(ctx context.Context, cfg Config, res *Result) error {
 		return err
 	}
 	openCold := func() (*core.Dataset, int64, error) {
-		ds, err := core.Open(ctx, logical)
+		// A fresh byte cache per epoch run keeps the run cold, and its
+		// presence makes the readahead scheduler's coalesced fetch plans run
+		// through the faulty wire — batched multi-range requests are in the
+		// chaos chain, not just per-chunk Gets.
+		cache := storage.NewLRU(logical, 1<<30)
+		ds, err := core.Open(ctx, cache)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -205,8 +365,16 @@ func chaosTrain(ctx context.Context, cfg Config, res *Result) error {
 	if hash != refHash {
 		return fmt.Errorf("chaos: faulty epoch batch stream differs from fault-free epoch (byte-identity broken by recovery)")
 	}
-	if got := logical.Requests(); got != chunks {
-		return fmt.Errorf("chaos: faulty epoch made %d logical origin requests for %d chunks (fetch-once net of retries broken)", got, chunks)
+	// Fetch-once under coalescing: every chunk object moved over the wire
+	// exactly once net of retries (whole gets + range gets + ranges inside
+	// batched gets), while the logical request count stays strictly below
+	// the chunk count — the fetch planner kept batching even under faults.
+	snap := logical.Snapshot()
+	if moved := snap.Gets + snap.RangeGets + snap.BatchRanges; moved != chunks {
+		return fmt.Errorf("chaos: faulty epoch moved %d chunk objects for %d chunks (fetch-once net of retries broken)", moved, chunks)
+	}
+	if got := snap.Requests(); got >= chunks {
+		return fmt.Errorf("chaos: faulty epoch made %d logical origin requests for %d chunks (coalescing collapsed under faults)", got, chunks)
 	}
 	// Generous recovery bound: stalls cost an OpTimeout each, so the faulty
 	// epoch is slower, but it must not degrade to anything like a restart.
@@ -221,8 +389,8 @@ func chaosTrain(ctx context.Context, cfg Config, res *Result) error {
 			fs.Total(), fs.Errors, fs.Stalls, fs.Partials, rs.Retries),
 	})
 	res.Notes = append(res.Notes,
-		fmt.Sprintf("train: %d injected faults recovered by %d retries; %d/%d chunks fetched once each net of retries",
-			fs.Total(), rs.Retries, logical.Requests(), chunks))
+		fmt.Sprintf("train: %d injected faults recovered by %d retries; %d chunks moved once each in %d coalesced logical requests",
+			fs.Total(), rs.Retries, chunks, snap.Requests()))
 	return nil
 }
 
@@ -325,8 +493,16 @@ func chaosIngest(ctx context.Context, cfg Config, res *Result) error {
 		// Flush drains the pipeline (redriving parked chunks) and persists
 		// metadata; metadata Puts hit the faulty origin directly, so retry
 		// the whole barrier while it fails transiently.
+		// Every failed barrier consumes at least one fault from the capped
+		// schedule, so budgeting an attempt per possible fault guarantees the
+		// loop converges under any goroutine interleaving (which faults land
+		// on chunk uploads vs metadata Puts depends on flush-worker timing).
+		attempts := chaosFlushRetries
+		if faultCfg != nil {
+			attempts += int(faultCfg.MaxFaults)
+		}
 		var flushErr error
-		for attempt := 0; attempt < chaosFlushRetries; attempt++ {
+		for attempt := 0; attempt < attempts; attempt++ {
 			if flushErr = ds.Flush(ctx); flushErr == nil {
 				break
 			}
@@ -335,7 +511,7 @@ func chaosIngest(ctx context.Context, cfg Config, res *Result) error {
 			}
 		}
 		if flushErr != nil {
-			return nil, nil, 0, fmt.Errorf("chaos: ingest flush still failing after %d attempts: %w", chaosFlushRetries, flushErr)
+			return nil, nil, 0, fmt.Errorf("chaos: ingest flush still failing after %d attempts: %w", attempts, flushErr)
 		}
 		elapsed := time.Since(start)
 		if faulty != nil {

@@ -31,20 +31,37 @@ const trainBatch = 16
 // simulated S3 through the chunk-aligned dataloader, against the
 // tfrecord/webdataset baselines. Tiny raw images in small chunks at a mild
 // time compression keep the epoch latency-bound, the regime a real S3
-// train loop lives in, so the worker fan-out (not CPU core count) sets the
-// scaling. The runner itself enforces the PR's contracts: 16-worker
-// streaming at least 4x the serial (no-readahead) path, every chunk
-// fetched and decoded exactly once per epoch per rank (cache/decode
-// counters), and the batch stream byte-identical across worker counts for
-// a fixed seed.
+// train loop lives in, so request-count economics (not CPU core count) set
+// the scaling. The runner itself enforces the PR's contracts: 16-worker
+// streaming at or above BOTH format baselines in absolute samples/sec,
+// origin requests strictly below the chunk count (the coalesced fetch
+// planner batching near-adjacent chunks into ranged multi-gets), every
+// chunk moved from origin and decoded exactly once per epoch per rank
+// (request ledger + cache/decode counters), and the batch stream
+// byte-identical across worker counts for a fixed seed.
 func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(384)
 	spec := workload.ImageSpec{Height: 16, Width: 16, Channels: 3, Seed: cfg.Seed}
 	samples := rawSampleSet(cfg, spec)
-	// Tiny chunks (~1 image each) keep the chunk count several waves above
-	// the worker count even at CI smoke scale (-n 64), so the 16-worker
-	// row measures fan-out, not a handful of serialized round trips.
+	// Deliberately pathological static bounds (~1 image per chunk) stand in
+	// for an untuned ingest; the chunk-size autotuner below is what rescues
+	// them, growing the effective target toward autotuneCap exactly as the
+	// real knob grows toward the paper's 8–16MB band (the toy samples are
+	// ~1000x smaller than real training images, so the cap scales with
+	// them). The result is a mid-size chunk layout: enough chunks to
+	// exercise fan-out and coalescing, few enough that per-chunk round
+	// trips don't drown the pipeline.
 	bounds := chunk.Bounds{Min: 512, Target: 1 << 10, Max: 2 << 10}
+	autotuneCap := int64(16 << 10)
+	if cfg.AutotuneCapBytes > 0 {
+		autotuneCap = int64(cfg.AutotuneCapBytes)
+	} else if cfg.AutotuneCapBytes < 0 {
+		autotuneCap = 0
+	}
+	fetchBatch := 32
+	if cfg.FetchBatch != 0 {
+		fetchBatch = cfg.FetchBatch
+	}
 	profile := simnet.S3SameRegion()
 	profile.TimeScale = trainScale
 	gpu := gpusim.GPU{ComputePerBatch: 2 * time.Millisecond, TimeScale: trainScale}
@@ -56,17 +73,20 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("simulated GPU (2ms/batch) fed by each loader over s3-same-region at time scale %d; throughput in simulated time", trainScale),
-		"serial = 1 worker with readahead disabled (the per-sample read path's schedule); workers-N = chunk-aligned pipeline",
+		"serial = 1 worker with readahead disabled (the per-sample read path's schedule); workers-N = chunk-aligned pipeline with coalesced ranged prefetch",
 		"ranks-4 shards the chunk order across 4 simulated nodes (Rank/WorldSize), 4 workers each, one GPU per rank",
-		"every deeplake row is checked: each chunk fetched+decoded exactly once per epoch per rank")
+		"every deeplake row is checked: each chunk moved from origin + decoded exactly once per epoch per rank, origin requests < chunks (coalescing)",
+		"gate: 16-worker streaming must match or beat both format baselines in absolute samples/sec")
 
 	// Baselines: same samples, same storage profile, 16 iteration workers.
+	baselineRate := map[string]float64{}
 	for _, f := range []baselines.Format{baselines.TFRecord{}, baselines.WebDataset{}} {
 		store := storage.NewSimObjectStore(profile)
 		if err := f.Write(ctx, store, samples); err != nil {
 			return nil, err
 		}
 		tl := gpu.Train(ctx, formatSource{f: f, store: store, workers: 16, batch: trainBatch}, 0)
+		baselineRate[f.Name()] = tl.RowsPerSec()
 		res.Rows = append(res.Rows, Row{
 			Name: f.Name(), Value: tl.RowsPerSec(), Unit: "smp/s",
 			Extra: fmt.Sprintf("gpu idle %.0f%%", tl.IdleFraction()*100),
@@ -74,14 +94,16 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// One ingested dataset behind a counting origin; each run reopens it
-	// with a cold loader cache and a reset request ledger.
+	// under a fresh byte cache (whose fetch planner coalesces prefetched
+	// chunks into batched ranged requests) with a reset request ledger, so
+	// the ledger counts exactly that run's origin traffic.
 	origin := storage.NewSimObjectStore(profile)
 	counting := storage.NewCounting(origin)
-	if _, err := ingestDeepLake(ctx, counting, samples, bounds); err != nil {
+	if _, err := ingestDeepLakeOpts(ctx, counting, samples, bounds, core.WriteOptions{AutotuneChunkBytes: autotuneCap}); err != nil {
 		return nil, err
 	}
 	openCold := func() (*core.Dataset, error) {
-		ds, err := core.Open(ctx, counting)
+		ds, err := core.Open(ctx, storage.NewLRU(counting, 1<<30))
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +117,13 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 		return dataloader.Options{
 			BatchSize: trainBatch, Workers: workers, Shuffle: true, Seed: cfg.Seed,
 			Fields: []string{"images", "labels"}, Readahead: readahead,
-			Rank: rank, WorldSize: world,
+			// A deep readahead window with wide fetch strips is the
+			// absolute-throughput configuration: the scheduler runs a full
+			// strip of chunks ahead of the workers, so whole strips arrive
+			// in single batched ranged requests while the previous strip
+			// decodes.
+			FetchBatch: fetchBatch,
+			Rank:       rank, WorldSize: world,
 		}
 	}
 
@@ -115,13 +143,13 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 		Extra: fmt.Sprintf("gpu idle %.0f%%, first batch %s", serialTL.IdleFraction()*100, serialTL.FirstBatch.Round(time.Millisecond)),
 	})
 
-	var speedup16 float64
+	var rate16 float64
 	for _, workers := range []int{1, 4, 16} {
 		ds, err := openCold()
 		if err != nil {
 			return nil, err
 		}
-		l := dataloader.ForDataset(ds, loaderOpts(workers, 0, 1, 0))
+		l := dataloader.ForDataset(ds, loaderOpts(workers, 0, 1, 64))
 		tl := gpu.Train(ctx, l, 0)
 		if err := l.Err(); err != nil {
 			return nil, err
@@ -133,21 +161,51 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 		if got := l.CacheDecodes(); got != chunks {
 			return nil, fmt.Errorf("train: workers-%d decoded %d chunks, want exactly %d (decode-once per epoch)", workers, got, chunks)
 		}
-		if gets := counting.Requests(); gets != int64(chunks) {
-			return nil, fmt.Errorf("train: workers-%d made %d origin requests for %d chunks (fetch-once per epoch)", workers, gets, chunks)
+		snap := counting.Snapshot()
+		// Fetch-once: every chunk object moves from origin exactly once,
+		// whether inside a batched ranged request or a single get.
+		if moved := snap.Gets + snap.RangeGets + snap.BatchRanges; moved != chunks {
+			return nil, fmt.Errorf("train: workers-%d moved %d chunk objects from origin for %d chunks (fetch-once per epoch)", workers, moved, chunks)
 		}
-		speedup := tl.RowsPerSec() / serial
+		// Coalescing: the fetch planner must pack those moves into strictly
+		// fewer origin round trips than chunks. Only enforceable when batched
+		// prefetch is on — -fetch-batch < 0 deliberately restores
+		// one-request-per-chunk for A/B runs.
+		reqs := snap.Requests()
+		if fetchBatch > 0 && reqs >= chunks {
+			return nil, fmt.Errorf("train: workers-%d made %d origin requests for %d chunks (coalescing must batch them)", workers, reqs, chunks)
+		}
 		if workers == 16 {
-			speedup16 = speedup
+			rate16 = tl.RowsPerSec()
+			res.Rows = append(res.Rows, Row{
+				Name: "origin-requests-16", Value: float64(reqs), Unit: "req",
+				Extra: fmt.Sprintf("%d chunks moved in %d requests (%d batched multi-gets carrying %d ranges)",
+					chunks, reqs, snap.BatchGets, snap.BatchRanges),
+			})
 		}
 		res.Rows = append(res.Rows, Row{
 			Name: fmt.Sprintf("workers-%d", workers), Value: tl.RowsPerSec(), Unit: "smp/s",
-			Extra: fmt.Sprintf("%.1fx serial, gpu idle %.0f%%, first batch %s",
-				speedup, tl.IdleFraction()*100, tl.FirstBatch.Round(time.Millisecond)),
+			Extra: fmt.Sprintf("%.1fx serial, %d origin reqs / %d chunks, gpu idle %.0f%%, first batch %s",
+				tl.RowsPerSec()/serial, reqs, chunks, tl.IdleFraction()*100, tl.FirstBatch.Round(time.Millisecond)),
 		})
 	}
-	if speedup16 < 4 {
-		return nil, fmt.Errorf("train: 16-worker streaming is %.1fx serial, want >= 4x", speedup16)
+	// Absolute-throughput gate: 16-worker streaming must match or beat both
+	// format baselines, not merely scale over its own serial path. An explicit
+	// A/B run with a throughput knob disabled measures the degraded
+	// configuration instead of enforcing the gate against it. Skipped under
+	// the race detector, whose instrumentation slows real decode work ~10x
+	// against the fixed simulated network clock — a skew production builds
+	// never see; the deterministic invariants above stay enforced.
+	if raceEnabled {
+		res.Notes = append(res.Notes, "absolute gate skipped under the race detector (CPU-time skew vs the simulated network clock)")
+	} else if cfg.FetchBatch >= 0 && cfg.AutotuneCapBytes >= 0 {
+		for name, rate := range baselineRate {
+			if rate16 < rate {
+				return nil, fmt.Errorf("train: 16-worker streaming %.0f smp/s is below the %s baseline %.0f smp/s", rate16, name, rate)
+			}
+		}
+	} else {
+		res.Notes = append(res.Notes, "absolute gate skipped: a throughput knob (-fetch-batch/-autotune-cap) is explicitly disabled for A/B measurement")
 	}
 
 	// Distributed: 4 ranks shard one epoch's chunk order disjointly, each
@@ -164,7 +222,7 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 		loaders := make([]*dataloader.Loader, world)
 		for r := 0; r < world; r++ {
 			gpus[r] = gpu
-			loaders[r] = dataloader.ForDataset(ds, loaderOpts(4, r, world, 0))
+			loaders[r] = dataloader.ForDataset(ds, loaderOpts(4, r, world, 64))
 			sources[r] = loaders[r]
 		}
 		start := time.Now()
@@ -196,7 +254,7 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 	// the pipeline schedule varies).
 	{
 		mem := storage.NewMemory()
-		mds, err := ingestDeepLake(ctx, mem, samples, bounds)
+		mds, err := ingestDeepLakeOpts(ctx, mem, samples, bounds, core.WriteOptions{AutotuneChunkBytes: autotuneCap})
 		if err != nil {
 			return nil, err
 		}

@@ -7,11 +7,13 @@ import (
 )
 
 // TestTrainScenario asserts the PR's acceptance criteria at test scale. The
-// TrainStream runner itself fails when 16-worker streaming is below 4x the
-// serial path, when any chunk is fetched or decoded more than once per
-// epoch per rank, or when the batch stream is not byte-identical across
-// worker counts — so a clean return already covers the contracts; the
-// checks here guard the reported series' shape.
+// TrainStream runner itself fails when 16-worker streaming falls below
+// either format baseline in absolute samples/sec, when origin requests are
+// not strictly fewer than chunks (coalesced fetch plans), when any chunk is
+// fetched or decoded more than once per epoch per rank, or when the batch
+// stream is not byte-identical across worker counts — so a clean return
+// already covers the contracts; the checks here guard the reported series'
+// shape.
 func TestTrainScenario(t *testing.T) {
 	res, err := TrainStream(context.Background(), Config{N: 96, Workers: 4})
 	if err != nil {
@@ -28,16 +30,30 @@ func TestTrainScenario(t *testing.T) {
 	if serial <= 0 || w16 <= 0 {
 		t.Fatalf("non-positive throughput: serial %.1f, workers-16 %.1f", serial, w16)
 	}
-	if w16 < 4*serial {
-		t.Fatalf("16-worker streaming %.1f smp/s is below 4x serial %.1f smp/s", w16, serial)
+	if w16 <= serial {
+		t.Fatalf("16-worker streaming %.1f smp/s does not beat the serial path %.1f smp/s", w16, serial)
 	}
 	if _, ok := res.Value("ranks-4"); !ok {
 		t.Fatal("ranks-4 row missing")
 	}
 	for _, name := range []string{"tfrecord", "webdataset"} {
-		if _, ok := res.Value(name); !ok {
+		base, ok := res.Value(name)
+		if !ok {
 			t.Fatalf("%s baseline row missing", name)
 		}
+		// The absolute comparison only holds without race instrumentation,
+		// which slows real decode work against the simulated network clock
+		// (the runner itself skips its gate the same way).
+		if !raceEnabled && w16 < base {
+			t.Fatalf("16-worker streaming %.1f smp/s is below the %s baseline %.1f smp/s", w16, name, base)
+		}
+	}
+	reqs, ok := res.Value("origin-requests-16")
+	if !ok {
+		t.Fatal("origin-requests-16 row missing")
+	}
+	if reqs < 1 {
+		t.Fatalf("origin-requests-16 reports %.0f requests", reqs)
 	}
 	verified := false
 	for _, n := range res.Notes {

@@ -22,11 +22,35 @@ func (b Bounds) Validate() error {
 	return nil
 }
 
+// meanSampleFloor is the autotuner's sample-size heuristic: the effective
+// target never sits below this many mean-sized samples, so a stream of
+// large samples jumps straight to big chunks instead of waiting out the
+// doubling schedule.
+const meanSampleFloor = 16
+
 // Builder accumulates samples into one chunk under a Bounds policy.
+//
+// With autotuning enabled (SetAutotune), the effective target grows from
+// Bounds.Target toward the configured cap — doubling with every sealed
+// chunk, floored at meanSampleFloor mean observed sample sizes — so an
+// ingest that starts with a conservative target converges into the paper's
+// 8–16MB band (§3.4) without a priori knowledge of sample sizes. The
+// schedule depends only on the sequence of Append/Flush calls, never on
+// timing or upload concurrency, so stored bytes stay deterministic for a
+// fixed append order at any flush-worker count.
 type Builder struct {
 	bounds  Bounds
 	samples []Sample
 	bytes   int
+
+	// autoCap enables autotuning when > 0: the ceiling the effective target
+	// grows toward.
+	autoCap int
+	// sealed counts non-empty Flush calls (the doubling clock).
+	sealed int
+	// obsBytes/obsCount accumulate appended sample sizes for the mean floor.
+	obsBytes int64
+	obsCount int64
 }
 
 // NewBuilder returns an empty builder. Invalid bounds fall back to defaults.
@@ -37,8 +61,62 @@ func NewBuilder(bounds Bounds) *Builder {
 	return &Builder{bounds: bounds}
 }
 
-// Bounds returns the sizing policy.
+// Bounds returns the configured (base) sizing policy.
 func (b *Builder) Bounds() Bounds { return b.bounds }
+
+// SetAutotune enables chunk-size autotuning with the given target ceiling
+// in bytes (at least the base target; the paper's sweet spot is 8–16MB).
+// capBytes <= 0 disables autotuning, restoring the static policy.
+func (b *Builder) SetAutotune(capBytes int) {
+	if capBytes > 0 && capBytes < b.bounds.Target {
+		capBytes = b.bounds.Target
+	}
+	b.autoCap = capBytes
+}
+
+// EffectiveBounds returns the sizing policy currently in force: the base
+// bounds with Target/Max lifted by the autotuner's schedule.
+func (b *Builder) EffectiveBounds() Bounds {
+	return Bounds{Min: b.bounds.Min, Target: b.effectiveTarget(), Max: b.effectiveMax()}
+}
+
+// effectiveTarget is the autotuned preferred chunk size: base target
+// doubled per sealed chunk, floored at meanSampleFloor mean sample sizes,
+// capped at autoCap.
+func (b *Builder) effectiveTarget() int {
+	if b.autoCap <= 0 {
+		return b.bounds.Target
+	}
+	t := b.bounds.Target
+	for i := 0; i < b.sealed && t < b.autoCap; i++ {
+		t <<= 1
+	}
+	if b.obsCount > 0 {
+		if floor := int(b.obsBytes / b.obsCount * meanSampleFloor); floor > t {
+			t = floor
+		}
+	}
+	if t > b.autoCap {
+		t = b.autoCap
+	}
+	if t < b.bounds.Target {
+		t = b.bounds.Target
+	}
+	return t
+}
+
+// effectiveMax keeps the hard ceiling at least twice the autotuned target,
+// so a grown target still leaves headroom for the closing sample.
+func (b *Builder) effectiveMax() int {
+	if b.autoCap <= 0 {
+		return b.bounds.Max
+	}
+	m := b.bounds.Max
+	if t := b.effectiveTarget(); m < 2*t {
+		m = 2 * t
+	}
+	return m
+}
 
 // Len returns the number of buffered samples.
 func (b *Builder) Len() int { return len(b.samples) }
@@ -48,37 +126,40 @@ func (b *Builder) PayloadBytes() int { return b.bytes }
 
 // NeedsTiling reports whether a sample of n payload bytes can never fit in
 // one chunk and must be tiled (§3.4), except for videos which are exempt.
-func (b *Builder) NeedsTiling(n int) bool { return n > b.bounds.Max }
+func (b *Builder) NeedsTiling(n int) bool { return n > b.effectiveMax() }
 
 // ShouldFlushBefore reports whether the builder should be flushed before
 // appending a sample of n bytes: the chunk already holds data and adding the
 // sample would exceed the upper bound, or the chunk already reached its
-// target size.
+// (autotuned) target size.
 func (b *Builder) ShouldFlushBefore(n int) bool {
 	if len(b.samples) == 0 {
 		return false
 	}
-	if b.bytes >= b.bounds.Target {
+	if b.bytes >= b.effectiveTarget() {
 		return true
 	}
-	return b.bytes+n > b.bounds.Max
+	return b.bytes+n > b.effectiveMax()
 }
 
 // Append buffers one sample. Callers must consult ShouldFlushBefore and
 // NeedsTiling first; Append rejects samples that violate the upper bound on
 // a non-empty builder.
 func (b *Builder) Append(s Sample) error {
-	if len(b.samples) > 0 && b.bytes+len(s.Data) > b.bounds.Max {
-		return fmt.Errorf("chunk: appending %d bytes would exceed upper bound %d (have %d)", len(s.Data), b.bounds.Max, b.bytes)
+	if max := b.effectiveMax(); len(b.samples) > 0 && b.bytes+len(s.Data) > max {
+		return fmt.Errorf("chunk: appending %d bytes would exceed upper bound %d (have %d)", len(s.Data), max, b.bytes)
 	}
 	b.samples = append(b.samples, s)
 	b.bytes += len(s.Data)
+	b.obsBytes += int64(len(s.Data))
+	b.obsCount++
 	return nil
 }
 
 // Flush encodes the buffered samples into a chunk blob and resets the
 // builder. It returns the blob and the number of samples it holds; flushing
-// an empty builder returns (nil, 0, nil).
+// an empty builder returns (nil, 0, nil). Each non-empty flush advances the
+// autotuner's doubling clock.
 func (b *Builder) Flush() ([]byte, int, error) {
 	if len(b.samples) == 0 {
 		return nil, 0, nil
@@ -90,5 +171,6 @@ func (b *Builder) Flush() ([]byte, int, error) {
 	n := len(b.samples)
 	b.samples = b.samples[:0]
 	b.bytes = 0
+	b.sealed++
 	return blob, n, nil
 }

@@ -179,7 +179,13 @@ func HeaderRange(maxSamples, maxRank int) int64 {
 
 // Decode parses a full chunk blob into its samples. Sample Data slices
 // alias raw.
-func Decode(raw []byte) ([]Sample, error) {
+func Decode(raw []byte) ([]Sample, error) { return DecodeAppend(raw, nil) }
+
+// DecodeAppend is Decode reusing dst's capacity for the sample directory,
+// so a streaming reader that decodes chunks in a loop pays zero steady-state
+// allocations for the slice itself. dst is truncated and appended to; Sample
+// Data slices alias raw.
+func DecodeAppend(raw []byte, dst []Sample) ([]Sample, error) {
 	d, err := DecodeDirectory(raw)
 	if err != nil {
 		return nil, err
@@ -193,14 +199,14 @@ func Decode(raw []byte) ([]Sample, error) {
 	if n > 0 && d.Offsets[n] > uint64(len(data)) {
 		return nil, errCorrupt
 	}
-	samples := make([]Sample, n)
+	dst = dst[:0]
 	for i := 0; i < n; i++ {
-		samples[i] = Sample{
+		dst = append(dst, Sample{
 			Shape: d.Shapes[i],
 			Data:  data[d.Offsets[i]:d.Offsets[i+1]],
-		}
+		})
 	}
-	return samples, nil
+	return dst, nil
 }
 
 // SampleRange returns the absolute byte range of sample i inside a chunk

@@ -53,7 +53,13 @@ func (lz4) Compress(src []byte) ([]byte, error) {
 	return append(header, block...), nil
 }
 
-func (lz4) Decompress(src []byte) ([]byte, error) {
+func (c lz4) Decompress(src []byte) ([]byte, error) {
+	return c.DecompressAppend(src, nil)
+}
+
+// DecompressAppend implements AppendDecompressor: the output grows from
+// dst[:0], so a caller looping over chunks reuses one buffer.
+func (lz4) DecompressAppend(src, dst []byte) ([]byte, error) {
 	if len(src) == 0 {
 		return nil, errors.New("lz4: empty input")
 	}
@@ -68,11 +74,9 @@ func (lz4) Decompress(src []byte) ([]byte, error) {
 		if uint64(len(payload)) != size {
 			return nil, fmt.Errorf("lz4: raw payload size %d != header %d", len(payload), size)
 		}
-		out := make([]byte, size)
-		copy(out, payload)
-		return out, nil
+		return append(dst[:0], payload...), nil
 	case lz4Block:
-		return lz4DecompressBlock(payload, int(size))
+		return lz4DecompressBlock(payload, int(size), dst)
 	default:
 		return nil, fmt.Errorf("lz4: unknown mode byte %#x", mode)
 	}
@@ -175,9 +179,13 @@ func lz4AppendExtLen(dst []byte, n int) []byte {
 
 var errLZ4Corrupt = errors.New("lz4: corrupt block")
 
-// lz4DecompressBlock decodes a raw LZ4 block into exactly size bytes.
-func lz4DecompressBlock(src []byte, size int) ([]byte, error) {
-	dst := make([]byte, 0, size)
+// lz4DecompressBlock decodes a raw LZ4 block into exactly size bytes,
+// reusing scratch's capacity when it suffices.
+func lz4DecompressBlock(src []byte, size int, scratch []byte) ([]byte, error) {
+	dst := scratch[:0]
+	if cap(dst) < size {
+		dst = make([]byte, 0, size)
+	}
 	s := 0
 	for s < len(src) {
 		token := src[s]

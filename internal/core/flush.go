@@ -50,6 +50,17 @@ type WriteOptions struct {
 	// FlushBackoff shapes the automatic redrive schedule. The zero value
 	// uses the storage.Backoff defaults (10ms base, 1s cap).
 	FlushBackoff storage.Backoff
+	// AutotuneChunkBytes enables ingest-time chunk-size autotuning with the
+	// given target ceiling in bytes: each tensor's builder grows its
+	// effective target from the configured Bounds.Target toward this cap
+	// (doubling per sealed chunk, floored at the mean observed sample size
+	// times a small factor), converging into the paper's 8–16MB band without
+	// per-dataset tuning. The schedule depends only on each tensor's append
+	// sequence — appends are serialized per tensor regardless of
+	// FlushWorkers — so the stored chunks are byte-identical at any worker
+	// count. 0 disables autotuning and keeps the static bounds (the default,
+	// so existing golden layouts are unaffected).
+	AutotuneChunkBytes int64
 }
 
 // DeferredFlushError wraps a storage error from the background flush
@@ -487,6 +498,14 @@ func (ds *Dataset) SetWriteOptions(opts WriteOptions) error {
 		ds.flusher = newFlushPipeline(ds.store, opts)
 	} else {
 		ds.flusher = nil
+	}
+	// Propagate the autotune cap to every existing builder; tensors created
+	// later pick it up from ds.writeOpts in newTensor/loadTensor.
+	for _, name := range ds.order {
+		t := ds.tensors[name]
+		t.mu.Lock()
+		t.builder.SetAutotune(int(opts.AutotuneChunkBytes))
+		t.mu.Unlock()
 	}
 	return nil
 }

@@ -72,6 +72,14 @@ func (t *Tensor) storedSample(ctx context.Context, idx uint64) (chunk.Sample, er
 
 // decodeSample turns a stored sample into an array.
 func (t *Tensor) decodeSample(s chunk.Sample) (*tensor.NDArray, error) {
+	return t.decodeSampleArena(s, nil)
+}
+
+// decodeSampleArena is decodeSample with the raw-payload copy drawn from an
+// arena (nil falls back to the heap): the per-sample make+copy the hot scan
+// path would otherwise pay becomes a bump allocation in a pooled slab. Media
+// decodes still allocate their pixel buffers in the codec.
+func (t *Tensor) decodeSampleArena(s chunk.Sample, a *chunk.Arena) (*tensor.NDArray, error) {
 	if t.sampleCodec != nil {
 		pixels, h, w, c, err := t.sampleCodec.Decode(s.Data)
 		if err != nil {
@@ -92,8 +100,13 @@ func (t *Tensor) decodeSample(s chunk.Sample) (*tensor.NDArray, error) {
 		}
 		return arr, nil
 	}
-	data := make([]byte, len(s.Data))
-	copy(data, s.Data)
+	var data []byte
+	if a != nil {
+		data = a.Copy(s.Data)
+	} else {
+		data = make([]byte, len(s.Data))
+		copy(data, s.Data)
+	}
 	return tensor.FromBytes(t.Dtype(), s.Shape, data)
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/chunk"
+	"repro/internal/storage"
 	"repro/internal/tensor"
 )
 
@@ -51,6 +52,7 @@ type ChunkFetch func(ctx context.Context, chunkID uint64) ([]chunk.Sample, error
 type ScanReader struct {
 	t       *Tensor
 	fetch   ChunkFetch
+	arena   *chunk.Arena
 	valid   bool
 	chunkID uint64
 	samples []chunk.Sample
@@ -66,6 +68,14 @@ func (t *Tensor) NewScanReader() *ScanReader { return &ScanReader{t: t} }
 func (t *Tensor) NewScanReaderWith(fetch ChunkFetch) *ScanReader {
 	return &ScanReader{t: t, fetch: fetch}
 }
+
+// SetArena installs a buffer arena for At's sample decodes: raw payload
+// copies bump-allocate from pooled slabs instead of the heap, taking the
+// steady-state scan loop to near-zero allocations per sample. The caller
+// owns the arena's lifecycle — Reset it only once every array decoded
+// through this reader is dead (see chunk.Arena). A nil arena restores plain
+// heap allocation.
+func (r *ScanReader) SetArena(a *chunk.Arena) { r.arena = a }
 
 // locate resolves idx to chunk coordinates under the read locks, reporting
 // fallback=true for samples the chunk-granular path cannot serve: sequence
@@ -138,5 +148,52 @@ func (r *ScanReader) At(ctx context.Context, idx uint64) (*tensor.NDArray, error
 	if !ok {
 		return r.t.At(ctx, idx)
 	}
-	return r.t.decodeSample(s)
+	return r.t.decodeSampleArena(s, r.arena)
+}
+
+// PrefetchChunks resolves the given chunk ids to storage keys and hands them
+// to the provider chain's Prefetcher (the LRU cache's coalescing fetch
+// planner), which packs near-adjacent chunk objects into batched ranged
+// origin requests running in the background: the call returns once every
+// eligible chunk is claimed in the cache's singleflight layer, so readers
+// arriving later coalesce onto the in-flight batch rather than issuing their
+// own round trips. Chunks still in the write buffer, in the flush pipeline's
+// pending map, or unknown to the version map are skipped. A provider chain
+// without a Prefetcher makes this a no-op, so callers can prefetch
+// unconditionally. Returns the number of chunk objects claimed for fetch.
+func (t *Tensor) PrefetchChunks(ctx context.Context, ids []uint64, opts storage.PlanOptions) (int, error) {
+	pf, ok := t.ds.store.(storage.Prefetcher)
+	if !ok || len(ids) == 0 {
+		return 0, nil
+	}
+	t.ds.mu.RLock()
+	t.mu.RLock()
+	if opts.SizeHint <= 0 {
+		// Chunk objects are ~effective-target bytes; the planner sizes
+		// whole-object requests it cannot stat with this.
+		opts.SizeHint = int64(t.builder.EffectiveBounds().Target)
+	}
+	keys := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if t.builder.Len() > 0 && id == t.pendingID {
+			continue
+		}
+		vid, known := t.chunkVersion[id]
+		if !known {
+			continue
+		}
+		key := chunkKey(vid, t.name, id)
+		if fp := t.ds.flusher; fp != nil {
+			if _, inflight := fp.lookup(key); inflight {
+				continue
+			}
+		}
+		keys = append(keys, key)
+	}
+	t.mu.RUnlock()
+	t.ds.mu.RUnlock()
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	return pf.PrefetchAsync(ctx, keys, opts), nil
 }

@@ -102,6 +102,7 @@ func newTensor(ds *Dataset, spec TensorSpec) (*Tensor, error) {
 		chunkVersion: map[uint64]string{},
 		chunkSet:     map[uint64]bool{},
 	}
+	t.builder.SetAutotune(int(ds.writeOpts.AutotuneChunkBytes))
 	if err := t.resolveCodecs(); err != nil {
 		return nil, err
 	}
@@ -162,6 +163,7 @@ func loadTensor(ctx context.Context, ds *Dataset, name string) (*Tensor, error) 
 		chunkVersion: map[uint64]string{},
 		chunkSet:     map[uint64]bool{},
 	}
+	t.builder.SetAutotune(int(ds.writeOpts.AutotuneChunkBytes))
 	if err := t.resolveCodecs(); err != nil {
 		return nil, err
 	}

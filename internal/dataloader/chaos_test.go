@@ -2,12 +2,17 @@ package dataloader
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"hash/fnv"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/storage"
+	"repro/internal/tensor"
 )
 
 // The loader chaos suite: run with -race. A flaky origin mid-epoch must
@@ -158,5 +163,50 @@ func TestLoaderCancelDuringBackoffStopsPromptly(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("cancel did not abort retry backoffs; loader still running")
+	}
+}
+
+// TestLoaderSurfacesWorkerDeath: a worker goroutine killed mid-epoch (user
+// code calling runtime.Goexit — the Go analogue of a dataloader worker
+// process dying) must not truncate the stream silently. The contract is the
+// worker-failure contract: an in-order prefix strictly before the dying
+// row's delivery position, full batches only, and a deterministic
+// ErrWorkerDied from Err() — at any worker count, every run.
+func TestLoaderSurfacesWorkerDeath(t *testing.T) {
+	const n, killRow = 200, 97
+	ds := loaderDataset(t, storage.NewMemory(), n)
+	for round := 0; round < 6; round++ {
+		workers := []int{1, 2, 8}[round%3]
+		l := ForDataset(ds, Options{
+			BatchSize: 8, Workers: workers,
+			Transform: func(s map[string]*tensor.NDArray) (map[string]*tensor.NDArray, error) {
+				if v, _ := s["x"].At(0); v == killRow {
+					runtime.Goexit()
+				}
+				return s, nil
+			},
+		})
+		next := 0
+		for b := range l.Batches(context.Background()) {
+			if len(b.Samples) != 8 {
+				t.Fatalf("workers=%d: partial batch of %d emitted on the death path", workers, len(b.Samples))
+			}
+			for _, s := range b.Samples {
+				if v, _ := s["x"].At(0); v != float64(next) {
+					t.Fatalf("workers=%d: row %v delivered out of order (want %d)", workers, v, next)
+				}
+				next++
+			}
+		}
+		if next > killRow {
+			t.Fatalf("workers=%d: delivered %d rows at/past the dying row %d", workers, next, killRow)
+		}
+		err := l.Err()
+		if !errors.Is(err, ErrWorkerDied) {
+			t.Fatalf("workers=%d round %d: Err() = %v, want ErrWorkerDied", workers, round, err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("position %d", killRow)) {
+			t.Fatalf("workers=%d: death position not deterministic: %v", workers, err)
+		}
 	}
 }

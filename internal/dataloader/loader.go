@@ -42,6 +42,14 @@ import (
 // be safe for concurrent use.
 type Transform func(map[string]*tensor.NDArray) (map[string]*tensor.NDArray, error)
 
+// ErrWorkerDied marks an epoch aborted because a worker goroutine died
+// mid-job without returning — user code in the worker (a Transform, a
+// codec) called runtime.Goexit or panicked past the pipeline. The loader
+// never truncates the stream silently: Err() carries this sentinel wrapped
+// with the dying row's delivery position, and delivery stops strictly
+// before that position, exactly like any other worker failure.
+var ErrWorkerDied = errors.New("dataloader: worker died mid-epoch")
+
 // Options configures a Loader.
 type Options struct {
 	// BatchSize is the number of samples per batch (default 1).
@@ -75,6 +83,14 @@ type Options struct {
 	// disables readahead. Prefetches coalesce with worker fetches through
 	// the chunk cache's singleflight layer, so no chunk is read twice.
 	Readahead int
+	// FetchBatch is how many upcoming chunks the readahead scheduler hands
+	// to the storage layer's fetch planner at a time: near-adjacent chunk
+	// objects in the strip coalesce into single batched ranged origin
+	// requests (default 8). Requires a prefetch-capable provider chain (a
+	// storage.LRU over a BatchProvider); otherwise it is a no-op. Negative
+	// disables batched prefetch, keeping the one-request-per-chunk
+	// behavior.
+	FetchBatch int
 	// RawBytes controls media decoding of sample-compressed tensors.
 	// When true, raw stored bytes are exposed as 1-d uint8 arrays
 	// (useful for byte-throughput benchmarks). Default false (decode).
@@ -113,6 +129,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Readahead == 0 {
 		o.Readahead = 4
+	}
+	if o.FetchBatch == 0 {
+		o.FetchBatch = 8
 	}
 	if o.WorldSize <= 0 {
 		o.WorldSize = 1
@@ -315,21 +334,44 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 	// staying at most Readahead distinct chunks ahead of the workers along
 	// the chunk visit order.
 	var prog *raProgress
+	var raReady chan struct{}
 	if l.opts.Readahead > 0 {
 		if t := readaheadDriver(l.v, primary, groups); t != nil {
+			// Secondary stored fields ride the same strip prefetch so their
+			// chunks land in coalesced plans instead of worker round trips.
+			var secondaries []*core.Tensor
+			for _, c := range cols {
+				if !c.Stored() || c.Source == primary {
+					continue
+				}
+				if st := l.v.Dataset().Tensor(c.Source); st != nil && !st.Htype().Sequence && !st.Htype().Link {
+					secondaries = append(secondaries, st)
+				}
+			}
 			prog = newRAProgress()
 			go func() {
 				<-ctx.Done()
 				prog.stop()
 			}()
-			go runReadahead(ctx, l.cache, t, groups, l.opts, prog, l.opts.Readahead)
+			raReady = make(chan struct{})
+			go runReadahead(ctx, l.cache, l.v, t, secondaries, groups, l.opts, prog, l.opts.Readahead, raReady)
 		}
 	}
 
 	// Job feeder: chunk jobs in visit order, epochs back to back, with
-	// sequences and chunk ordinals renumbered into the global stream.
+	// sequences and chunk ordinals renumbered into the global stream. The
+	// first job waits for the readahead scheduler's opening fetch strip, so
+	// the workers' first misses coalesce onto the strip's batched origin
+	// requests instead of racing them with one-chunk round trips.
 	go func() {
 		defer close(jobs)
+		if raReady != nil {
+			select {
+			case <-raReady:
+			case <-ctx.Done():
+				return
+			}
+		}
 		seqBase := 0
 		for e := 0; e < l.opts.Epochs; e++ {
 			p := buildPlan(l.v, buildShard(groups, l.opts, e), l.opts, e)
@@ -351,30 +393,65 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 	// Workers: each owns whole chunk jobs and drains them through reused
 	// per-tensor ScanReaders backed by the shared chunk cache, so one job
 	// fetches and decodes its chunk exactly once.
+	//
+	// When the batched-prefetch path is active, the fetch planner — not the
+	// worker count — overlaps origin latency: workers almost never block on
+	// the wire, so goroutines beyond the CPU count only add scheduler churn.
+	// Cap the spawned pool at a small multiple of GOMAXPROCS then; the
+	// batch stream is delivery-sequence ordered, so the cap (like Workers
+	// itself) never changes what is delivered. Without batched prefetch,
+	// workers ARE the IO parallelism and the full count is spawned.
+	spawn := l.opts.Workers
+	if prog != nil && l.opts.FetchBatch > 0 {
+		if c := 2 * runtime.GOMAXPROCS(0); c < spawn {
+			spawn = c
+		}
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < l.opts.Workers; w++ {
+	for w := 0; w < spawn; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-death watchdog: a goroutine that dies mid-job without
+			// reaching a normal exit path (user code calling runtime.Goexit,
+			// or a panic unwinding) would otherwise strand its undelivered
+			// rows — the reorder stage would wait on sequence numbers that
+			// never arrive and the stream would truncate silently with a nil
+			// Err. Record the death at the dying row's delivery position
+			// instead: the contract stays the worker-failure contract — an
+			// in-order prefix strictly before the death position, then a
+			// deterministic error.
+			exited, deathSeq := false, 0
+			defer func() {
+				if exited {
+					return
+				}
+				sink.record(deathSeq, fmt.Errorf("%w at delivery position %d", ErrWorkerDied, deathSeq))
+				cancel()
+			}()
 			rl := newRowLoader(l, cols)
 			for cj := range jobs {
 				if prog != nil {
 					prog.advance(cj.ord)
 				}
 				for _, rj := range cj.rows {
+					deathSeq = rj.seq
 					sample, err := rl.load(ctx, rj)
 					if err != nil {
 						sink.record(rj.seq, err)
 						cancel()
+						exited = true
 						return
 					}
 					select {
 					case results <- result{seq: rj.seq, sample: sample}:
 					case <-ctx.Done():
+						exited = true
 						return
 					}
 				}
 			}
+			exited = true
 		}()
 	}
 	go func() {
@@ -471,10 +548,15 @@ type rowLoader struct {
 	l       *Loader
 	cols    []view.Column
 	readers map[string]*core.ScanReader
+	// arena serves the worker's sample decode copies from pooled slabs.
+	// The decoded arrays escape into user batches, so the arena is never
+	// Reset — it amortizes allocation (few large slabs instead of one heap
+	// allocation per sample), it does not recycle memory.
+	arena *chunk.Arena
 }
 
 func newRowLoader(l *Loader, cols []view.Column) *rowLoader {
-	return &rowLoader{l: l, cols: cols, readers: map[string]*core.ScanReader{}}
+	return &rowLoader{l: l, cols: cols, readers: map[string]*core.ScanReader{}, arena: chunk.NewArena()}
 }
 
 func (w *rowLoader) reader(t *core.Tensor) *core.ScanReader {
@@ -483,6 +565,7 @@ func (w *rowLoader) reader(t *core.Tensor) *core.ScanReader {
 		r = t.NewScanReaderWith(func(ctx context.Context, chunkID uint64) ([]chunk.Sample, error) {
 			return w.l.cache.get(ctx, t, chunkID)
 		})
+		r.SetArena(w.arena)
 		w.readers[t.Name()] = r
 	}
 	return r
@@ -528,21 +611,22 @@ func (w *rowLoader) loadStored(ctx context.Context, tensorName string, src uint6
 	if t.Htype().Sequence || t.Htype().Link {
 		return t.At(ctx, src)
 	}
-	s, ok, err := w.reader(t).StoredAt(ctx, src)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		// Tiled or write-buffered samples fall back to the tensor read
-		// path, which reassembles them.
-		return t.At(ctx, src)
-	}
+	r := w.reader(t)
 	if w.l.opts.RawBytes {
-		data := make([]byte, len(s.Data))
-		copy(data, s.Data)
-		return tensor.FromBytes(tensor.UInt8, []int{len(data)}, data)
+		s, ok, err := r.StoredAt(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Tiled or write-buffered samples fall back to the tensor read
+			// path, which reassembles them.
+			return t.At(ctx, src)
+		}
+		return tensor.FromBytes(tensor.UInt8, []int{len(s.Data)}, w.arena.Copy(s.Data))
 	}
-	return t.DecodeStored(s.Data, s.Shape)
+	// At decodes through the reader's arena and falls back to the tensor
+	// read path for tiled or write-buffered samples itself.
+	return r.At(ctx, src)
 }
 
 // collate stacks equal-shape columns along a new batch axis.

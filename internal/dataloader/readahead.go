@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/view"
 )
 
@@ -99,13 +100,69 @@ func (p *raProgress) stop() {
 // aligned with the worker frontier. Fetch errors are ignored here: the
 // worker that needs the chunk will hit the same error on its own read path
 // and report it with row context.
-func runReadahead(ctx context.Context, cache *chunkCache, t *core.Tensor, groups []groupRef, o Options, prog *raProgress, k int) {
+func runReadahead(ctx context.Context, cache *chunkCache, v *view.View, t *core.Tensor, secondaries []*core.Tensor, groups []groupRef, o Options, prog *raProgress, k int, ready chan<- struct{}) {
+	// ready gates the job feeder: it is closed once the first fetch strip has
+	// been issued (and landed), so the workers' first cache misses find the
+	// strip's chunks already cached or in flight instead of racing the
+	// planner with their own one-chunk origin round trips. Closed on every
+	// exit path so an early return can never wedge the pipeline.
+	var readyOnce sync.Once
+	release := func() {
+		if ready != nil {
+			readyOnce.Do(func() { close(ready) })
+		}
+	}
+	defer release()
 	ord := 0
 	for e := 0; e < o.Epochs; e++ {
 		shard := buildShard(groups, o, e)
-		for _, g := range shard.groups {
+		// planned marks how far into the shard the strip prefetcher has
+		// handed chunk ids to the storage-level fetch planner.
+		planned := 0
+		for i, g := range shard.groups {
 			if !prog.waitUntil(ord-k) || ctx.Err() != nil {
 				return
+			}
+			// Strip prefetch: hand the next FetchBatch upcoming chunks to
+			// the tensor's storage prefetcher as one coalesced fetch plan —
+			// near-adjacent chunk objects ride one batched ranged origin
+			// request into the byte cache, so the per-chunk cache.get below
+			// (and the workers' own fetches) land as cache hits. Paced by
+			// the same frontier wait as the walk, so at most one strip of
+			// bytes runs ahead of the lookahead window. Errors are ignored
+			// like fetch errors below: readers recover per-chunk.
+			if o.FetchBatch > 0 && i >= planned {
+				ids := make([]uint64, 0, o.FetchBatch)
+				j := i
+				for ; j < len(shard.groups) && len(ids) < o.FetchBatch; j++ {
+					if shard.groups[j].chunk {
+						ids = append(ids, shard.groups[j].key)
+					}
+				}
+				planned = j
+				// Secondary stored fields (labels beside images, say) have
+				// their own chunk layout that the primary-driven walk never
+				// visits; without this their first touch by a worker is a
+				// bare origin round trip on the delivery critical path.
+				// Hand the chunks covering this strip's rows to the planner
+				// too — the prefetcher skips anything already cached, so
+				// re-listing a chunk shared between strips costs nothing.
+				// PrefetchChunks claims the chunks and returns while the
+				// coalesced round trips fly in the background, so per-tensor
+				// plans overlap each other and the walk below; workers that
+				// reach a strip chunk early coalesce onto its in-flight
+				// fetch through the cache's singleflight layer.
+				if len(ids) > 0 {
+					_, _ = t.PrefetchChunks(ctx, ids, storage.PlanOptions{})
+				}
+				for _, sec := range secondaries {
+					if sids := stripSecondaryIDs(v, sec, shard.groups[i:j]); len(sids) > 0 {
+						_, _ = sec.PrefetchChunks(ctx, sids, storage.PlanOptions{})
+					}
+				}
+			}
+			if i == 0 {
+				release()
 			}
 			// Workers already started (or passed) this chunk: they
 			// fetched it themselves, and under budget pressure it may
@@ -118,4 +175,28 @@ func runReadahead(ctx context.Context, cache *chunkCache, t *core.Tensor, groups
 			ord++
 		}
 	}
+}
+
+// stripSecondaryIDs lists the distinct chunk ids of t covering the view rows
+// of the given groups, in visit order. Rows that fail to resolve (computed
+// views, rows still in the write buffer) are skipped — the worker's own read
+// path handles them.
+func stripSecondaryIDs(v *view.View, t *core.Tensor, groups []groupRef) []uint64 {
+	var ids []uint64
+	seen := map[uint64]bool{}
+	for _, g := range groups {
+		for _, row := range g.rows {
+			src, err := v.SourceRow(row)
+			if err != nil {
+				continue
+			}
+			id, _, err := t.ChunkOf(src)
+			if err != nil || seen[id] {
+				continue
+			}
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }

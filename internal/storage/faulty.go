@@ -13,11 +13,12 @@ const (
 	faultClassGet = iota
 	faultClassRange
 	faultClassPut
-	faultClassMeta // Exists, Size, List, Delete
+	faultClassMeta  // Exists, Size, List, Delete
+	faultClassBatch // GetRanges
 	faultClasses
 )
 
-var faultClassName = [faultClasses]string{"get", "getrange", "put", "meta"}
+var faultClassName = [faultClasses]string{"get", "getrange", "put", "meta", "getranges"}
 
 // FaultConfig describes a reproducible fault schedule for a Faulty provider.
 // All rates are probabilities in [0, 1]; outcomes are decided by hashing
@@ -119,26 +120,34 @@ const (
 
 // roll decides the outcome for the next operation of the given class.
 func (f *Faulty) roll(class int, errRate float64) faultKind {
+	kind, _ := f.rollSeq(class, errRate)
+	return kind
+}
+
+// rollSeq is roll plus the operation's position in its class schedule, which
+// seeds per-operation decisions beyond the fault kind (the batch cut point).
+func (f *Faulty) rollSeq(class int, errRate float64) (faultKind, int64) {
 	if !f.armed.Load() {
-		return faultNone
+		return faultNone, 0
 	}
 	n := f.seq[class].Add(1)
 	h := splitmix64(uint64(f.cfg.Seed)<<20 ^ uint64(class)<<56 ^ uint64(n))
 	u := float64(h>>11) / (1 << 53)
 	kind := faultNone
+	partialClass := class == faultClassGet || class == faultClassBatch
 	switch {
 	case u < f.cfg.StallRate:
 		kind = faultStall
 	case u < f.cfg.StallRate+errRate:
 		kind = faultErr
-	case class == faultClassGet && u < f.cfg.StallRate+errRate+f.cfg.PartialRate:
+	case partialClass && u < f.cfg.StallRate+errRate+f.cfg.PartialRate:
 		kind = faultPartial
 	}
 	if kind == faultNone {
-		return faultNone
+		return faultNone, n
 	}
 	if f.cfg.MaxFaults > 0 && f.injected.Add(1) > f.cfg.MaxFaults {
-		return faultNone
+		return faultNone, n
 	} else if f.cfg.MaxFaults <= 0 {
 		f.injected.Add(1)
 	}
@@ -150,7 +159,7 @@ func (f *Faulty) roll(class int, errRate float64) faultKind {
 	case faultPartial:
 		f.partials.Add(1)
 	}
-	return kind
+	return kind, n
 }
 
 // stall blocks until ctx is done and returns its error: the black-hole
@@ -181,6 +190,50 @@ func (f *Faulty) Get(ctx context.Context, key string) ([]byte, error) {
 			key, f.cfg.PartialBytes, ErrTransient)
 	}
 	return f.inner.Get(ctx, key)
+}
+
+// GetRanges implements BatchProvider. Batched gets draw from their own
+// fault-class schedule (seeded, per-class sequence — reproducible for a
+// fixed config regardless of interleaving) using the Get rates: GetErrRate
+// for connection drops, StallRate for black holes, PartialRate for
+// mid-transfer cuts. A fault lands mid-batch at a deterministic cut point:
+// ranges before the cut are genuinely served through the inner provider
+// (siblings already received are never poisoned — the partial-results
+// contract holds through the fault), the cut range and everything after are
+// lost, and the call fails transiently so a Retry layer re-issues only the
+// missing tail.
+func (f *Faulty) GetRanges(ctx context.Context, reqs []RangeReq) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	kind, seq := f.rollSeq(faultClassBatch, f.cfg.GetErrRate)
+	switch kind {
+	case faultStall:
+		return make([][]byte, len(reqs)), f.stall(ctx)
+	case faultErr, faultPartial:
+		// Deterministic cut: depends only on (Seed, class sequence), so the
+		// same config over the same batch sequence cuts at the same points.
+		cut := int(splitmix64(uint64(f.cfg.Seed)<<24^uint64(seq)) % uint64(len(reqs)))
+		out := make([][]byte, len(reqs))
+		if cut > 0 {
+			served, err := GetRanges(ctx, f.inner, reqs[:cut])
+			copy(out, served)
+			if err != nil {
+				return out, err
+			}
+		}
+		if kind == faultPartial {
+			// The victim range's prefix really transfers (charging any
+			// simulated network below for the wasted bytes) before the drop.
+			victim := reqs[cut]
+			_, _ = f.inner.GetRange(ctx, victim.Key, victim.Offset, f.cfg.PartialBytes)
+			return out, fmt.Errorf("storage: injected partial batch read of %q after %d/%d ranges: %w",
+				victim.Key, cut, len(reqs), ErrTransient)
+		}
+		return out, fmt.Errorf("storage: injected %s fault after %d/%d ranges: %w",
+			faultClassName[faultClassBatch], cut, len(reqs), ErrTransient)
+	}
+	return GetRanges(ctx, f.inner, reqs)
 }
 
 // GetRange implements Provider.

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -46,7 +47,8 @@ type LRU struct {
 	shards []*lruShard
 	flight Flight[[]byte]
 
-	coalesced atomic.Int64
+	coalesced  atomic.Int64
+	prefetched atomic.Int64
 }
 
 type lruShard struct {
@@ -139,8 +141,16 @@ type Stats struct {
 	// Coalesced counts Gets that piggybacked on another caller's in-flight
 	// origin fetch instead of issuing their own.
 	Coalesced int64
+	// Prefetched counts objects admitted by coalesced batch prefetches
+	// (Prefetch) rather than on-demand misses.
+	Prefetched int64
 	// UsedBytes is the total resident payload size.
 	UsedBytes int64
+	// Origin is the per-op-class origin request ledger gathered from the
+	// first Counting layer below this cache in the provider chain (zero when
+	// none is stacked), so callers can assert request-count contracts like
+	// "N chunks, ≪N origin requests" straight off the cache stats.
+	Origin CountingStats
 	// Retries counts origin re-attempts issued by a Retry layer below this
 	// cache (0 when none is stacked).
 	Retries int64
@@ -154,7 +164,11 @@ type Stats struct {
 // Stats reports cache counters across all shards, plus retry/fault counters
 // gathered by walking the origin chain through Unwrap.
 func (l *LRU) Stats() Stats {
-	s := Stats{Coalesced: l.coalesced.Load(), Shards: make([]ShardStats, len(l.shards))}
+	s := Stats{
+		Coalesced:  l.coalesced.Load(),
+		Prefetched: l.prefetched.Load(),
+		Shards:     make([]ShardStats, len(l.shards)),
+	}
 	for i, sh := range l.shards {
 		sh.mu.Lock()
 		ss := ShardStats{Hits: sh.hits, Misses: sh.misses, UsedBytes: sh.used, Entries: len(sh.items)}
@@ -164,12 +178,18 @@ func (l *LRU) Stats() Stats {
 		s.Misses += ss.Misses
 		s.UsedBytes += ss.UsedBytes
 	}
+	sawCounting := false
 	for p := l.origin; p != nil; {
 		switch v := p.(type) {
 		case *Retry:
 			s.Retries += v.Stats().Retries
 		case *Faulty:
 			s.Faults += v.Stats().Total()
+		case *Counting:
+			if !sawCounting {
+				s.Origin = v.Snapshot()
+				sawCounting = true
+			}
 		}
 		u, ok := p.(interface{ Unwrap() Provider })
 		if !ok {
@@ -252,18 +272,24 @@ func (l *LRU) Get(ctx context.Context, key string) ([]byte, error) {
 		copy(out, data)
 		return out, nil
 	}
+	fetch := func() ([]byte, error) {
+		data, err := l.origin.Get(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		sh.admit(key, data)
+		return data, nil
+	}
 	data, coalesced, err := l.flight.GetCoalesced(ctx, key,
-		func() ([]byte, bool) { return sh.peek(key) },
-		func() ([]byte, error) {
-			data, err := l.origin.Get(ctx, key)
-			if err != nil {
-				return nil, err
-			}
-			sh.admit(key, data)
-			return data, nil
-		})
+		func() ([]byte, bool) { return sh.peek(key) }, fetch)
 	if coalesced {
 		l.coalesced.Add(1)
+	}
+	if err != nil && errors.Is(err, errPrefetchShed) && ctx.Err() == nil {
+		// This reader coalesced onto a batch prefetch whose round trip
+		// failed before reaching the key; fall back to an on-demand fetch
+		// instead of inheriting the batch's failure.
+		data, err = fetch()
 	}
 	if err != nil {
 		return nil, err

@@ -55,6 +55,33 @@ func (m *Memory) GetRange(ctx context.Context, key string, offset, length int64)
 	return out, nil
 }
 
+// GetRanges implements BatchProvider: requests are served in order with the
+// partial-results-on-error contract. Memory has no per-request latency, so
+// the batch is purely a contract implementation here; the Sim wrapper above
+// it is what turns the batch into one charged round trip.
+func (m *Memory) GetRanges(ctx context.Context, reqs []RangeReq) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		var (
+			data []byte
+			err  error
+		)
+		if r.whole() {
+			data, err = m.Get(ctx, r.Key)
+		} else {
+			data, err = m.GetRange(ctx, r.Key, r.Offset, r.Length)
+		}
+		if err != nil {
+			return out, err
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
 // Put implements Provider.
 func (m *Memory) Put(ctx context.Context, key string, data []byte) error {
 	if err := ctx.Err(); err != nil {

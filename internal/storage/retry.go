@@ -286,6 +286,46 @@ func (r *Retry) Get(ctx context.Context, key string) ([]byte, error) {
 	return out, nil
 }
 
+// GetRanges implements BatchProvider. Recovery is incremental: ranges
+// served before a mid-batch fault are kept, and each re-attempt re-issues
+// only the still-missing ranges as one new batch — so one fault inside a
+// coalesced request costs exactly one extra origin round trip, never a
+// resend of bytes already received.
+func (r *Retry) GetRanges(ctx context.Context, reqs []RangeReq) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	out := make([][]byte, len(reqs))
+	missing := make([]int, len(reqs))
+	for i := range reqs {
+		missing[i] = i
+	}
+	err := r.do(ctx, "GetRanges", fmt.Sprintf("batch[%d] %s…", len(reqs), reqs[0].Key), func(c context.Context) error {
+		sub := make([]RangeReq, len(missing))
+		for j, i := range missing {
+			sub[j] = reqs[i]
+		}
+		res, err := GetRanges(c, r.inner, sub)
+		still := missing[:0]
+		for j, i := range missing {
+			if j < len(res) && res[j] != nil {
+				out[i] = res[j]
+			} else {
+				still = append(still, i)
+			}
+		}
+		missing = still
+		if err != nil {
+			return err
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("storage: batched get left %d ranges unserved: %w", len(missing), ErrTransient)
+		}
+		return nil
+	})
+	return out, err
+}
+
 // GetRange implements Provider.
 func (r *Retry) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
 	var out []byte

@@ -69,6 +69,27 @@ func (s *Sim) GetRange(ctx context.Context, key string, offset, length int64) ([
 	return data, nil
 }
 
+// GetRanges implements BatchProvider with batch pricing: the whole batch
+// pays ONE round-trip latency plus bandwidth for the total payload, instead
+// of one latency charge per range the sequential fallback would cost. This
+// is the request-count economics the fetch-plan layer exists for — N chunk
+// ranges in one request cost one RTT. A batch that fails partway still pays
+// one round trip (latency plus whatever payload did transfer).
+func (s *Sim) GetRanges(ctx context.Context, reqs []RangeReq) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	out, err := GetRanges(ctx, s.inner, reqs)
+	total := 0
+	for _, data := range out {
+		total += len(data)
+	}
+	if nerr := s.net.Read(ctx, total); nerr != nil && err == nil {
+		err = nerr
+	}
+	return out, err
+}
+
 // Put implements Provider.
 func (s *Sim) Put(ctx context.Context, key string, data []byte) error {
 	if err := s.net.Write(ctx, len(data)); err != nil {

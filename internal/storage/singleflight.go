@@ -103,6 +103,33 @@ func SharedCancellation(ctx context.Context, err error) bool {
 		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
+// Lead attempts to take non-blocking leadership of key: ok is false when a
+// call for key is already in flight (its leader will serve any waiter). On
+// success the caller MUST invoke finish exactly once with the result, which
+// releases the key and wakes every follower that joined via Do in the
+// meantime. This is how a batch prefetch registers many keys at once and
+// delivers each key's bytes as they arrive, while on-demand readers
+// coalesce onto the batch instead of issuing duplicate fetches.
+func (f *Flight[V]) Lead(key string) (finish func(V, error), ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall[V])
+	}
+	if _, exists := f.calls[key]; exists {
+		return nil, false
+	}
+	c := &flightCall[V]{done: make(chan struct{}), err: errFlightAbandoned}
+	f.calls[key] = c
+	return func(v V, err error) {
+		c.val, c.err = v, err
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+	}, true
+}
+
 // Inflight reports how many keys currently have an executing leader.
 func (f *Flight[V]) Inflight() int {
 	f.mu.Lock()

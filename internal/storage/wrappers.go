@@ -39,6 +39,21 @@ func (p *Prefix) GetRange(ctx context.Context, key string, offset, length int64)
 	return p.inner.GetRange(ctx, p.key(key), offset, length)
 }
 
+// GetRanges implements BatchProvider: keys are rewritten into the sub-tree
+// and the batch forwarded, so coalesced fetch plans survive a Prefix in the
+// chain as one round trip.
+func (p *Prefix) GetRanges(ctx context.Context, reqs []RangeReq) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	inner := make([]RangeReq, len(reqs))
+	for i, r := range reqs {
+		r.Key = p.key(r.Key)
+		inner[i] = r
+	}
+	return GetRanges(ctx, p.inner, inner)
+}
+
 // Put implements Provider.
 func (p *Prefix) Put(ctx context.Context, key string, data []byte) error {
 	return p.inner.Put(ctx, p.key(key), data)
@@ -79,8 +94,9 @@ func (p *Prefix) Size(ctx context.Context, key string) (int64, error) {
 type Counting struct {
 	inner Provider
 
-	gets, rangeGets, puts, deletes, lists atomic.Int64
-	bytesRead, bytesWritten               atomic.Int64
+	gets, rangeGets, batchGets, batchRanges atomic.Int64
+	puts, deletes, lists                    atomic.Int64
+	bytesRead, bytesWritten                 atomic.Int64
 }
 
 // NewCounting wraps inner with operation counters.
@@ -93,18 +109,29 @@ func (c *Counting) Unwrap() Provider { return c.inner }
 type CountingStats struct {
 	// Gets, RangeGets, Puts, Deletes and Lists count operations by kind.
 	Gets, RangeGets, Puts, Deletes, Lists int64
+	// BatchGets counts GetRanges calls — each is ONE origin request no
+	// matter how many ranges it carries (the batch-pricing contract Sim
+	// models), which is what lets a bench assert "N chunks, ≪N requests".
+	BatchGets int64
+	// BatchRanges counts the ranges carried inside those batch requests, so
+	// coverage (how many chunks moved) stays observable next to the request
+	// count.
+	BatchRanges int64
 	// BytesRead and BytesWritten total successful payload transfer.
 	BytesRead, BytesWritten int64
 }
 
-// Requests is the read-path request count (Gets + RangeGets).
-func (s CountingStats) Requests() int64 { return s.Gets + s.RangeGets }
+// Requests is the read-path request count: whole-object gets, range gets,
+// and batched gets, each batch counted once.
+func (s CountingStats) Requests() int64 { return s.Gets + s.RangeGets + s.BatchGets }
 
 // Snapshot copies the current counter values.
 func (c *Counting) Snapshot() CountingStats {
 	return CountingStats{
 		Gets:         c.gets.Load(),
 		RangeGets:    c.rangeGets.Load(),
+		BatchGets:    c.batchGets.Load(),
+		BatchRanges:  c.batchRanges.Load(),
 		Puts:         c.puts.Load(),
 		Deletes:      c.deletes.Load(),
 		Lists:        c.lists.Load(),
@@ -118,6 +145,8 @@ func (c *Counting) Snapshot() CountingStats {
 func (c *Counting) Reset() {
 	c.gets.Store(0)
 	c.rangeGets.Store(0)
+	c.batchGets.Store(0)
+	c.batchRanges.Store(0)
 	c.puts.Store(0)
 	c.deletes.Store(0)
 	c.lists.Store(0)
@@ -143,6 +172,25 @@ func (c *Counting) GetRange(ctx context.Context, key string, offset, length int6
 		c.bytesRead.Add(int64(len(data)))
 	}
 	return data, err
+}
+
+// GetRanges implements BatchProvider. The whole batch counts as ONE request
+// (BatchGets) with its fan-in recorded separately (BatchRanges): that is
+// the pricing model of a ranged multi-get against an object store, and the
+// ledger benches use to prove coalescing engaged.
+func (c *Counting) GetRanges(ctx context.Context, reqs []RangeReq) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	c.batchGets.Add(1)
+	c.batchRanges.Add(int64(len(reqs)))
+	out, err := GetRanges(ctx, c.inner, reqs)
+	for _, data := range out {
+		if data != nil {
+			c.bytesRead.Add(int64(len(data)))
+		}
+	}
+	return out, err
 }
 
 // Put implements Provider.
@@ -174,9 +222,10 @@ func (c *Counting) Size(ctx context.Context, key string) (int64, error) {
 	return c.inner.Size(ctx, key)
 }
 
-// Requests returns the total read-path request count.
+// Requests returns the total read-path request count (each batched
+// multi-get counts once).
 func (c *Counting) Requests() int64 {
-	return c.gets.Load() + c.rangeGets.Load()
+	return c.gets.Load() + c.rangeGets.Load() + c.batchGets.Load()
 }
 
 // Flaky injects failures into a provider for failure-injection tests: every

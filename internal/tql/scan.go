@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 )
 
 // Options tunes query execution. The zero value picks defaults.
@@ -160,7 +161,29 @@ func (sc *scanner) eval(ctx context.Context, rows []uint64, x Expr, stage string
 	if workers > len(spans) {
 		workers = len(spans)
 	}
+	// Span prefetch: before a worker walks a partition, the chunks it will
+	// touch are handed to the storage layer's fetch planner in one batch, so
+	// near-adjacent chunk objects arrive in coalesced ranged origin requests
+	// instead of one round trip each. Shape-only expressions are excluded:
+	// they resolve from the shape encoder (pushdown's zero-chunk-IO
+	// guarantee), so prefetching chunks for them would be pure waste. Errors
+	// are ignored — the per-row read path re-fetches and reports with row
+	// context.
+	driver := scanDriver(sc.ds, x)
+	var driverChunks []core.ChunkSpan
+	if driver != nil && ascending(rows) && (sc.rawShapes || !shapeOnly(x)) {
+		driverChunks = driver.ChunkSpans()
+	}
+	prefetchSpan := func(ctx context.Context, sp span) {
+		if len(driverChunks) == 0 {
+			return
+		}
+		if ids := spanChunkIDs(driverChunks, rows[sp.lo:sp.hi]); len(ids) > 0 {
+			_, _ = driver.PrefetchChunks(ctx, ids, storage.PlanOptions{})
+		}
+	}
 	evalSpan := func(ctx context.Context, e *env, sp span) error {
+		prefetchSpan(ctx, sp)
 		for pos := sp.lo; pos < sp.hi; pos++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -334,6 +357,28 @@ func scanDriver(ds *core.Dataset, x Expr) *core.Tensor {
 		walk(x)
 	}
 	return found
+}
+
+// spanChunkIDs lists the distinct chunk ids covering rows (which must be
+// ascending), in visit order.
+func spanChunkIDs(chunks []core.ChunkSpan, rows []uint64) []uint64 {
+	var ids []uint64
+	ci := 0
+	for _, row := range rows {
+		for ci < len(chunks) && row > chunks[ci].Last {
+			ci++
+		}
+		if ci >= len(chunks) {
+			break
+		}
+		if row < chunks[ci].First {
+			continue
+		}
+		if n := len(ids); n == 0 || ids[n-1] != chunks[ci].ChunkID {
+			ids = append(ids, chunks[ci].ChunkID)
+		}
+	}
+	return ids
 }
 
 func ascending(rows []uint64) bool {
