@@ -17,6 +17,13 @@
 //	deeplake branch  -path DIR
 //	deeplake diff    -path DIR -a REF -b REF
 //	deeplake merge   -path DIR -from BRANCH [-theirs]
+//	deeplake fsck    -path DIR [-repair]
+//
+// fsck walks the manifest against stored objects — missing chunks, orphaned
+// blobs from dead generations, checksum mismatches, torn metadata — and
+// exits non-zero when the dataset is not clean. With -repair it rewrites
+// torn metadata from the published root snapshot and collects the garbage;
+// missing or corrupt data is reported but cannot be repaired.
 package main
 
 import (
@@ -58,6 +65,7 @@ func main() {
 		refB    = fs.String("b", "", "diff: right ref")
 		from    = fs.String("from", "", "merge: source branch")
 		theirs  = fs.Bool("theirs", false, "merge: prefer source on conflict")
+		repair  = fs.Bool("repair", false, "fsck: repair what can be repaired")
 	)
 	fs.Parse(os.Args[2:])
 	if *path == "" {
@@ -227,6 +235,17 @@ func main() {
 		check(ds.Merge(ctx, *from, policy))
 		fmt.Printf("merged %s into %s\n", *from, ds.Branch())
 
+	case "fsck":
+		rep, err := core.Fsck(ctx, store, core.FsckOptions{Repair: *repair})
+		check(err)
+		fmt.Print(rep.Format())
+		if !rep.Clean() {
+			if *repair {
+				fatal("fsck: unrepairable issues remain")
+			}
+			fatal("fsck: issues found (re-run with -repair to fix the repairable ones)")
+		}
+
 	default:
 		usage()
 	}
@@ -250,6 +269,6 @@ func fatal(format string, args ...any) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: deeplake <create|info|tensor|ingest|synth|query|commit|checkout|log|branch|diff|merge> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: deeplake <create|info|tensor|ingest|synth|query|commit|checkout|log|branch|diff|merge|fsck> [flags]")
 	os.Exit(2)
 }

@@ -134,3 +134,54 @@ func TestCLIErrors(t *testing.T) {
 	runExpectError(t, "query", p, "-q", "SELECT nosuch FROM x")
 	runExpectError(t, "checkout", p, "-ref", "ghost")
 }
+
+func TestCLIFsck(t *testing.T) {
+	dir := t.TempDir()
+	p := "-path=" + dir
+
+	run(t, "create", p, "-name", "fscktest")
+	run(t, "synth", p, "-n", "20", "-side", "8")
+
+	out := run(t, "fsck", p)
+	if !strings.Contains(out, "clean") {
+		t.Fatalf("fsck on healthy dataset: %q", out)
+	}
+
+	// Flip a byte in a stored chunk; fsck must fail and name the object.
+	var victim string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if victim == "" && !info.IsDir() && strings.Contains(path, string(filepath.Separator)+"chunks"+string(filepath.Separator)) {
+			victim = path
+		}
+		return nil
+	})
+	if err != nil || victim == "" {
+		t.Fatalf("no chunk file found: %v", err)
+	}
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x5A
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rel, err := filepath.Rel(dir, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := filepath.ToSlash(rel)
+	out = runExpectError(t, "fsck", p)
+	if !strings.Contains(out, "checksum-mismatch") || !strings.Contains(out, key) {
+		t.Fatalf("fsck should name the corrupted object %q:\n%s", key, out)
+	}
+	// Corruption is not repairable: -repair still exits non-zero.
+	out = runExpectError(t, "fsck", p, "-repair")
+	if !strings.Contains(out, "unrepairable") {
+		t.Fatalf("fsck -repair on corrupted chunk: %q", out)
+	}
+}

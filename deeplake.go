@@ -368,6 +368,44 @@ func WithRetry(origin Provider, opts RetryOptions) *storage.Retry {
 	return storage.NewRetry(origin, opts)
 }
 
+// VerifyOptions configures the integrity layer: heal attempts per corrupted
+// read and the quarantine threshold for keys that keep failing.
+type VerifyOptions = storage.VerifyOptions
+
+// WithVerify wraps a provider with CRC32C verify-on-read and self-healing
+// re-fetch. Digests are recorded on every Put and seeded from the dataset's
+// chunk checksum manifests automatically at Open. Stack it between WithCache
+// and WithRetry — cache over verify over retry over origin — so a poisoned
+// transfer is detected before it enters the cache, healed with one re-fetch
+// for all coalesced waiters, and the cache's Stats() then reports
+// CorruptionsDetected/CorruptionsRepaired/Quarantined.
+func WithVerify(origin Provider, opts VerifyOptions) *storage.Verify {
+	return storage.NewVerify(origin, opts)
+}
+
+// Fsck types, re-exported for integrity tooling.
+type (
+	// FsckOptions selects fsck behavior (Repair collects garbage and
+	// rewrites torn metadata).
+	FsckOptions = core.FsckOptions
+	// FsckReport is the outcome of a consistency walk.
+	FsckReport = core.FsckReport
+	// FsckIssue is one finding: kind, exact object key, detail.
+	FsckIssue = core.FsckIssue
+	// IntegrityInfo summarizes an open handle's integrity state (commit
+	// generation, abandoned staged generations, checksum coverage).
+	IntegrityInfo = core.IntegrityInfo
+)
+
+// Fsck walks a dataset's manifest against its stored objects: missing
+// chunks, orphaned blobs from dead generations, checksum mismatches, torn
+// metadata. With opts.Repair it rewrites torn metadata from the published
+// root snapshot and deletes the garbage; missing or corrupt data is
+// reported but never repairable.
+func Fsck(ctx context.Context, store Provider, opts FsckOptions) (*FsckReport, error) {
+	return core.Fsck(ctx, store, opts)
+}
+
 // Array constructors.
 
 // NewArray allocates a zeroed array.

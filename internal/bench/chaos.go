@@ -41,6 +41,15 @@ const chaosFlushRetries = 8
 //   - ingest: a full ingest over a Put-faulty origin — parked chunk uploads
 //     redriven automatically by the flush pipeline under backoff — lands an
 //     object set byte-identical to the fault-free ingest.
+//   - corruption: an epoch over a wire that silently flips bits and truncates
+//     transfers still delivers a byte-identical batch stream — the Verify
+//     layer (digests seeded from the chunk checksum manifests at Open)
+//     detects and heals every damaged transfer at exactly one extra origin
+//     request each, with none quarantined.
+//   - crash: a writer killed between chunk upload and root publish leaves
+//     the previous generation fully readable; fsck reports only collectable
+//     garbage (abandoned staged root, orphan chunks, torn plain metadata),
+//     and -repair restores a clean, readable dataset.
 func Chaos(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(384)
 	res := &Result{
@@ -49,8 +58,8 @@ func Chaos(ctx context.Context, cfg Config) (*Result, error) {
 		Better: "lower",
 	}
 	res.Notes = append(res.Notes,
-		"chain: LRU byte cache (coalesced fetch plans) + loader cache -> Counting (logical ledger) -> Retry (capped exp backoff, per-op timeout) -> Faulty -> sim S3",
-		"every row asserts a recovery contract: byte-identical delivery, fetch-once net of retries, one extra request per faulted batch, deterministic worker-death errors")
+		"chain: LRU byte cache (coalesced fetch plans) + loader cache -> Verify (CRC32C + self-heal) -> Counting (logical ledger) -> Retry (capped exp backoff, per-op timeout) -> Faulty -> sim S3",
+		"every row asserts a recovery contract: byte-identical delivery, fetch-once net of retries, one extra request per faulted batch or damaged transfer, deterministic worker-death errors, crash-consistent commits")
 
 	if err := chaosHotChunk(ctx, cfg, res); err != nil {
 		return nil, err
@@ -67,7 +76,334 @@ func Chaos(ctx context.Context, cfg Config) (*Result, error) {
 	if err := chaosIngest(ctx, cfg, res); err != nil {
 		return nil, err
 	}
+	if err := chaosCorruptHotChunk(ctx, cfg, res); err != nil {
+		return nil, err
+	}
+	if err := chaosCorruption(ctx, cfg, res); err != nil {
+		return nil, err
+	}
+	if err := chaosCrash(ctx, cfg, res); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// chaosCorruptHotChunk is the silent-fault mirror of the hot-chunk litmus:
+// 16 readers coalesce on one cold chunk whose first transfer arrives with a
+// flipped bit. The Verify layer under the singleflight cache must detect the
+// mismatch against the seeded digest and heal with exactly ONE extra origin
+// request — the flight leader re-fetches on behalf of every waiter, and
+// nobody ever sees the poisoned bytes.
+func chaosCorruptHotChunk(ctx context.Context, cfg Config, res *Result) error {
+	mem := storage.NewMemory()
+	payload := bytes.Repeat([]byte{0xCD}, 1<<20)
+	if err := mem.Put(ctx, "hot/chunk", payload); err != nil {
+		return err
+	}
+	faulty := storage.NewFaulty(mem, storage.FaultConfig{Seed: cfg.Seed, CorruptRate: 1, MaxFaults: 1})
+	attempts := storage.NewCounting(faulty)
+	verify := storage.NewVerify(attempts, storage.VerifyOptions{})
+	verify.SeedDigest("hot/chunk", storage.Checksum(payload))
+	cache := storage.NewLRU(verify, 1<<30)
+
+	const readers = 16
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	gate := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			data, err := cache.Get(ctx, "hot/chunk")
+			if err == nil && !bytes.Equal(data, payload) {
+				err = fmt.Errorf("chaos: corrupted hot chunk bytes leaked past verification")
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("chaos: corrupt-hot-chunk reader failed (heal did not absorb the flip): %w", firstErr)
+	}
+	gets := attempts.Snapshot().Gets
+	if gets != 2 {
+		return fmt.Errorf("chaos: corrupted hot chunk cost %d origin Gets, want exactly 2 (one poisoned + one heal for all %d waiters)", gets, readers)
+	}
+	stats := cache.Stats()
+	if stats.CorruptionsDetected != 1 || stats.CorruptionsRepaired != 1 {
+		return fmt.Errorf("chaos: cache stats report %d detected / %d repaired corruptions, want 1/1", stats.CorruptionsDetected, stats.CorruptionsRepaired)
+	}
+	res.Rows = append(res.Rows, Row{
+		Name: "corruption-extra-requests", Value: float64(gets - 1), Unit: "reqs",
+		Extra: fmt.Sprintf("%d coalesced readers, 1 flipped bit, %d origin Gets, 1 heal", readers, gets),
+	})
+	return nil
+}
+
+// chaosCorruption runs the train epoch over a wire that silently damages
+// transfers — seeded bit flips and truncations that the transport reports as
+// success — with the Verify layer stacked under the byte cache and digests
+// seeded from the per-tensor checksum manifests at Open. The contract: the
+// delivered batch stream is byte-identical to the fault-free epoch, every
+// damaged transfer is detected and healed (none quarantined), and each
+// damaged transfer costs exactly ONE extra origin request.
+func chaosCorruption(ctx context.Context, cfg Config, res *Result) error {
+	spec := workload.ImageSpec{Height: 16, Width: 16, Channels: 3, Seed: cfg.Seed}
+	samples := rawSampleSet(cfg, spec)
+	bounds := chunk.Bounds{Min: 512, Target: 1 << 10, Max: 2 << 10}
+	profile := simnet.S3SameRegion()
+	profile.TimeScale = trainScale
+
+	origin := storage.NewSimObjectStore(profile)
+	// Silent faults only: no transport errors, so no Retry layer — every
+	// recovery below is the integrity machinery's own doing. The combined
+	// rate is 1 with a small MaxFaults budget, so EXACTLY chaosDamageBudget
+	// transfers arrive damaged regardless of how the readahead scheduler
+	// batches requests — the coalesced plans draw too few schedule positions
+	// for probabilistic rates to be reliable. A heal re-fetch draws from the
+	// same schedule, so one unlucky key can eat several budget units in its
+	// heal loop; HealAttempts must exceed the whole budget.
+	const chaosDamageBudget = 6
+	faulty := storage.NewFaulty(origin, storage.FaultConfig{
+		Seed:         cfg.Seed,
+		CorruptRate:  0.7,
+		TruncateRate: 0.3,
+		MaxFaults:    chaosDamageBudget,
+	})
+	faulty.SetArmed(false)
+	logical := storage.NewCounting(faulty)
+	verify := storage.NewVerify(logical, storage.VerifyOptions{HealAttempts: chaosDamageBudget + 2, QuarantineAfter: -1})
+
+	if _, err := ingestDeepLake(ctx, logical, samples, bounds); err != nil {
+		return err
+	}
+	openCold := func() (*core.Dataset, *storage.LRU, int64, error) {
+		cache := storage.NewLRU(verify, 1<<30)
+		ds, err := core.Open(ctx, cache)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if info := ds.Integrity(); info.SeededDigests == 0 || info.ChunksWithoutChecksum != 0 {
+			return nil, nil, 0, fmt.Errorf("chaos: digest seeding incomplete at open: %+v", info)
+		}
+		chunks := int64(ds.Tensor("images").NumChunks() + ds.Tensor("labels").NumChunks())
+		logical.Reset()
+		return ds, cache, chunks, nil
+	}
+
+	ds, _, _, err := openCold()
+	if err != nil {
+		return err
+	}
+	refHash, refN, err := streamHash(ctx, ds, cfg.Workers, cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("chaos: fault-free reference epoch: %w", err)
+	}
+	if refN != cfg.N {
+		return fmt.Errorf("chaos: reference epoch delivered %d/%d rows", refN, cfg.N)
+	}
+
+	ds, cache, chunks, err := openCold()
+	if err != nil {
+		return err
+	}
+	faulty.SetArmed(true)
+	hash, n, err := streamHash(ctx, ds, cfg.Workers, cfg.Seed)
+	faulty.SetArmed(false)
+	if err != nil {
+		return fmt.Errorf("chaos: epoch over corrupting wire failed (verification must heal silent faults): %w", err)
+	}
+	if n != cfg.N {
+		return fmt.Errorf("chaos: corrupted epoch delivered %d/%d rows", n, cfg.N)
+	}
+	if hash != refHash {
+		return fmt.Errorf("chaos: corrupted epoch batch stream differs from fault-free epoch (a silent fault leaked through)")
+	}
+	fs := faulty.Stats()
+	damaged := fs.Corruptions + fs.Truncations
+	if damaged == 0 {
+		return fmt.Errorf("chaos: fault schedule damaged nothing (seed %d too sparse for n=%d)", cfg.Seed, cfg.N)
+	}
+	stats := cache.Stats()
+	if stats.CorruptionsDetected != damaged || stats.CorruptionsRepaired != damaged {
+		return fmt.Errorf("chaos: %d transfers damaged but verify detected %d / repaired %d", damaged, stats.CorruptionsDetected, stats.CorruptionsRepaired)
+	}
+	if stats.Quarantined != 0 {
+		return fmt.Errorf("chaos: %d keys quarantined during a recoverable epoch", stats.Quarantined)
+	}
+	// The price of integrity: each damaged transfer costs exactly one extra
+	// origin request (the heal re-fetch), on top of fetch-once per chunk.
+	snap := logical.Snapshot()
+	moved := snap.Gets + snap.RangeGets + snap.BatchRanges
+	if moved != chunks+damaged {
+		return fmt.Errorf("chaos: corrupted epoch moved %d objects for %d chunks + %d damaged transfers (heals must cost exactly one re-fetch each)", moved, chunks, damaged)
+	}
+	res.Rows = append(res.Rows, Row{
+		Name: "corruption-extra-requests-per-fault", Value: float64(moved-chunks) / float64(damaged), Unit: "reqs",
+		Extra: fmt.Sprintf("%d flips + %d truncations over %d chunks, all healed, stream byte-identical", fs.Corruptions, fs.Truncations, chunks),
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("corruption: %d damaged transfers (%d flipped, %d truncated); verify detected %d, repaired %d, quarantined %d; batch stream byte-identical",
+			damaged, fs.Corruptions, fs.Truncations, stats.CorruptionsDetected, stats.CorruptionsRepaired, stats.Quarantined))
+	return nil
+}
+
+// publishGuillotine simulates a writer killed at the publish point of the
+// staged-root commit protocol: once armed, the Put that rewrites
+// dataset.json fails permanently. Chunk uploads, plain metadata and the
+// staged roots/<gen> snapshot all land; the generation is never published.
+type publishGuillotine struct {
+	storage.Provider
+	armed bool
+}
+
+func (g *publishGuillotine) Put(ctx context.Context, key string, data []byte) error {
+	if g.armed && key == "dataset.json" {
+		return fmt.Errorf("chaos: simulated crash before publishing %q", key)
+	}
+	return g.Provider.Put(ctx, key, data)
+}
+
+// chaosCrash kills a writer between chunk upload and root publish, then
+// holds the survivors to the crash-consistency contract: the dataset reopens
+// at the previous generation with every published row intact, fsck reports
+// the crash footprint (abandoned staged root, orphan chunks, torn plain
+// metadata) with NOTHING missing or corrupt, and fsck -repair collects it
+// all, after which the dataset is clean and still readable.
+func chaosCrash(ctx context.Context, cfg Config, res *Result) error {
+	spec := workload.ImageSpec{Height: 16, Width: 16, Channels: 3, Seed: cfg.Seed}
+	samples := rawSampleSet(cfg, spec)
+	bounds := chunk.Bounds{Min: 512, Target: 1 << 10, Max: 2 << 10}
+	half := len(samples) / 2
+
+	mem := storage.NewMemory()
+	g := &publishGuillotine{Provider: mem}
+	ds, err := core.Create(ctx, g, "chaos-crash")
+	if err != nil {
+		return err
+	}
+	images, err := ds.CreateTensor(ctx, core.TensorSpec{Name: "images", Htype: "generic", Dtype: tensor.UInt8, Bounds: bounds})
+	if err != nil {
+		return err
+	}
+	labels, err := ds.CreateTensor(ctx, core.TensorSpec{Name: "labels", Htype: "class_label", Bounds: bounds})
+	if err != nil {
+		return err
+	}
+	appendRange := func(from, to int) error {
+		for _, s := range samples[from:to] {
+			arr, err := tensor.FromBytes(tensor.UInt8, s.Shape, s.Data)
+			if err != nil {
+				return err
+			}
+			if err := images.Append(ctx, arr); err != nil {
+				return err
+			}
+			if err := labels.Append(ctx, tensor.Scalar(tensor.Int32, float64(s.Label))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := appendRange(0, half); err != nil {
+		return err
+	}
+	if err := ds.Flush(ctx); err != nil {
+		return err
+	}
+
+	// The kill: the second half's chunks and plain metadata land, the
+	// staged root lands, the publish never happens.
+	g.armed = true
+	if err := appendRange(half, len(samples)); err != nil {
+		return err
+	}
+	if err := ds.Flush(ctx); err == nil {
+		return fmt.Errorf("chaos: flush through the publish guillotine should fail")
+	}
+
+	back, err := core.Open(ctx, mem)
+	if err != nil {
+		return fmt.Errorf("chaos: reopen after crash: %w", err)
+	}
+	if n := back.NumRows(); n != uint64(half) {
+		return fmt.Errorf("chaos: crashed dataset reopened at %d rows, want the %d of the published generation", n, half)
+	}
+	info := back.Integrity()
+	if info.AbandonedGeneration != info.Generation+1 {
+		return fmt.Errorf("chaos: abandoned generation not detected: %+v", info)
+	}
+	for _, i := range []int{0, half / 2, half - 1} {
+		arr, err := back.Tensor("images").At(ctx, uint64(i))
+		if err != nil {
+			return fmt.Errorf("chaos: read row %d after crash: %w", i, err)
+		}
+		if !bytes.Equal(arr.Bytes(), samples[i].Data) {
+			return fmt.Errorf("chaos: row %d bytes differ after crash recovery", i)
+		}
+	}
+
+	rep, err := core.Fsck(ctx, mem, core.FsckOptions{})
+	if err != nil {
+		return err
+	}
+	if rep.Clean() {
+		return fmt.Errorf("chaos: fsck missed the crashed writer's footprint")
+	}
+	orphans := 0
+	for _, issue := range rep.Issues {
+		switch issue.Kind {
+		case core.FsckOrphanChunk:
+			orphans++
+		case core.FsckMissingChunk, core.FsckMissingObject, core.FsckChecksumMismatch, core.FsckMissingRoot:
+			return fmt.Errorf("chaos: crash must not lose or corrupt published data: %s", issue)
+		}
+		if !issue.Repairable {
+			return fmt.Errorf("chaos: crash footprint must be fully repairable: %s", issue)
+		}
+	}
+	if orphans == 0 {
+		return fmt.Errorf("chaos: no orphan chunks found from the dead generation:\n%s", rep.Format())
+	}
+	repairRep, err := core.Fsck(ctx, mem, core.FsckOptions{Repair: true})
+	if err != nil {
+		return err
+	}
+	if !repairRep.Clean() {
+		return fmt.Errorf("chaos: fsck -repair left issues:\n%s", repairRep.Format())
+	}
+	rep, err = core.Fsck(ctx, mem, core.FsckOptions{})
+	if err != nil {
+		return err
+	}
+	if !rep.Clean() || len(rep.Issues) != 0 {
+		return fmt.Errorf("chaos: dataset not clean after repair:\n%s", rep.Format())
+	}
+	back, err = core.Open(ctx, mem)
+	if err != nil {
+		return fmt.Errorf("chaos: reopen after repair: %w", err)
+	}
+	if n := back.NumRows(); n != uint64(half) {
+		return fmt.Errorf("chaos: repaired dataset has %d rows, want %d", n, half)
+	}
+	res.Rows = append(res.Rows, Row{
+		Name: "crash-orphans-repaired", Value: float64(orphans), Unit: "chunks",
+		Extra: fmt.Sprintf("killed before publishing gen %d; reopened at gen %d with %d rows; %d issues repaired", info.AbandonedGeneration, info.Generation, half, len(repairRep.Issues)),
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("crash: writer killed between chunk upload and root publish; previous generation fully readable, %d orphan chunks collected by fsck -repair", orphans))
+	return nil
 }
 
 // chaosHotChunk is the singleflight+retry litmus: 16 readers coalesce on one
@@ -558,11 +894,13 @@ func chaosIngest(ctx context.Context, cfg Config, res *Result) error {
 		if err != nil {
 			return err
 		}
-		// The two root metadata files embed wall-clock creation/commit
-		// timestamps that legitimately differ between the runs; compare them
-		// with timestamps stripped. Every data-bearing object (chunks, chunk
-		// sets, encoders, tensor metadata) must match byte for byte.
-		if key == "dataset.json" || key == "version_control.json" {
+		// The root metadata files — dataset.json, the version tree, and the
+		// staged generation snapshots that embed both — carry wall-clock
+		// creation/commit timestamps that legitimately differ between the
+		// runs; compare them with timestamps stripped. Every data-bearing
+		// object (chunks, chunk sets, encoders, tensor metadata) must match
+		// byte for byte.
+		if key == "dataset.json" || key == "version_control.json" || strings.HasPrefix(key, "roots/") {
 			if !jsonEqualIgnoringTimes(got, want) {
 				return fmt.Errorf("chaos: %q differs beyond timestamps after faulty ingest", key)
 			}

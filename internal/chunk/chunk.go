@@ -10,14 +10,28 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Format constants.
 const (
 	// Magic identifies a chunk blob.
 	Magic = "DLCH"
-	// FormatVersion is bumped on incompatible layout changes.
-	FormatVersion = 1
+	// FormatVersion is bumped on layout changes. Version 2 appends a CRC32C
+	// integrity footer (see FooterMagic); version 1 blobs (no footer) are
+	// still decoded, with verification reported as skipped.
+	FormatVersion = 2
+	// legacyVersion is the pre-checksum layout, accepted on decode.
+	legacyVersion = 1
+
+	// FooterMagic opens the 8-byte trailer of a version-2 chunk:
+	// FooterMagic(4) then CRC32C(4, little-endian, Castagnoli) of every
+	// preceding byte of the blob (header, directory, payload, footer magic).
+	// The footer sits after the data section so directory-prefix reads and
+	// sample range reads are laid out exactly as in version 1.
+	FooterMagic = "DLCF"
+	// footerSize is the byte length of the version-2 trailer.
+	footerSize = len(FooterMagic) + 4
 
 	// DefaultTargetBytes is the paper's default chunk size (§3.5: "the
 	// default chunk size is 8MB").
@@ -57,7 +71,11 @@ func (d *Directory) NumSamples() int { return len(d.Shapes) }
 // whose directory serializes to dirBytes.
 func dataStart(dirBytes int) int { return headerSize + dirBytes }
 
-// Encode serializes samples into a chunk blob.
+// castagnoli is the CRC32C table used by the version-2 integrity footer.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes samples into a version-2 chunk blob, including the
+// CRC32C integrity footer.
 func Encode(samples []Sample) ([]byte, error) {
 	dir, err := encodeDirectory(samples)
 	if err != nil {
@@ -67,7 +85,7 @@ func Encode(samples []Sample) ([]byte, error) {
 	for _, s := range samples {
 		payload += len(s.Data)
 	}
-	out := make([]byte, 0, headerSize+len(dir)+payload)
+	out := make([]byte, 0, headerSize+len(dir)+payload+footerSize)
 	out = append(out, Magic...)
 	out = binary.LittleEndian.AppendUint16(out, FormatVersion)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(samples)))
@@ -76,6 +94,8 @@ func Encode(samples []Sample) ([]byte, error) {
 	for _, s := range samples {
 		out = append(out, s.Data...)
 	}
+	out = append(out, FooterMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
 	return out, nil
 }
 
@@ -104,33 +124,72 @@ func encodeDirectory(samples []Sample) ([]byte, error) {
 	return dir, nil
 }
 
-var errCorrupt = errors.New("chunk: corrupt blob")
+// ErrCorrupt marks a chunk blob whose bytes do not form a valid chunk:
+// short or garbled header, directory that disagrees with its own length,
+// non-monotone offsets, or a failed CRC32C footer check. Every decode-path
+// corruption error wraps it, so callers can separate data corruption
+// (errors.Is(err, ErrCorrupt) — re-fetch, heal, or fsck) from logic bugs
+// like out-of-range sample indices, which do not.
+var ErrCorrupt = errors.New("chunk: corrupt blob")
 
-// parseHeader validates the fixed header and returns sample count and
-// directory length.
-func parseHeader(raw []byte) (numSamples, dirBytes int, err error) {
+// corruptf builds a corruption error wrapping ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// parseHeader validates the fixed header and returns sample count,
+// directory length, and the blob's format version.
+func parseHeader(raw []byte) (numSamples, dirBytes int, version uint16, err error) {
 	if len(raw) < headerSize {
-		return 0, 0, errCorrupt
+		return 0, 0, 0, corruptf("%d bytes is shorter than the %d-byte header", len(raw), headerSize)
 	}
 	if string(raw[:4]) != Magic {
-		return 0, 0, fmt.Errorf("chunk: bad magic %q", raw[:4])
+		return 0, 0, 0, corruptf("bad magic %q", raw[:4])
 	}
-	if v := binary.LittleEndian.Uint16(raw[4:]); v != FormatVersion {
-		return 0, 0, fmt.Errorf("chunk: unsupported version %d", v)
+	version = binary.LittleEndian.Uint16(raw[4:])
+	if version != FormatVersion && version != legacyVersion {
+		return 0, 0, 0, corruptf("unsupported version %d", version)
 	}
 	numSamples = int(binary.LittleEndian.Uint32(raw[6:]))
 	dirBytes = int(binary.LittleEndian.Uint32(raw[10:]))
 	if dirBytes < 0 || headerSize+dirBytes > len(raw) {
-		return 0, 0, errCorrupt
+		return 0, 0, 0, corruptf("directory of %d bytes overruns %d-byte blob", dirBytes, len(raw))
 	}
-	return numSamples, dirBytes, nil
+	return numSamples, dirBytes, version, nil
+}
+
+// Verify checks the integrity footer of a full chunk blob. It returns
+// checked=false for version-1 blobs, which predate the footer and cannot be
+// verified. A version-2 blob with a missing or mismatched footer yields an
+// error wrapping ErrCorrupt. Verify only inspects the header and trailer, so
+// it is safe to call before (or instead of) a full Decode.
+func Verify(raw []byte) (checked bool, err error) {
+	_, _, version, err := parseHeader(raw)
+	if err != nil {
+		return false, err
+	}
+	if version < 2 {
+		return false, nil
+	}
+	if len(raw) < headerSize+footerSize {
+		return true, corruptf("%d bytes is too short for the version-2 footer", len(raw))
+	}
+	trailer := raw[len(raw)-footerSize:]
+	if string(trailer[:len(FooterMagic)]) != FooterMagic {
+		return true, corruptf("bad footer magic %q", trailer[:len(FooterMagic)])
+	}
+	want := binary.LittleEndian.Uint32(trailer[len(FooterMagic):])
+	if got := crc32.Checksum(raw[:len(raw)-4], castagnoli); got != want {
+		return true, corruptf("CRC32C mismatch: stored %08x, computed %08x", want, got)
+	}
+	return true, nil
 }
 
 // DecodeDirectory parses only the header + directory of a chunk blob. The
 // input may be a prefix of the chunk (a header range request), as long as it
 // covers the directory.
 func DecodeDirectory(raw []byte) (*Directory, error) {
-	n, dirBytes, err := parseHeader(raw)
+	n, dirBytes, _, err := parseHeader(raw)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +197,7 @@ func DecodeDirectory(raw []byte) (*Directory, error) {
 	d := &Directory{Offsets: make([]uint64, 0, n+1), Shapes: make([][]int, 0, n)}
 	need := (n + 1) * 8
 	if len(dir) < need {
-		return nil, errCorrupt
+		return nil, corruptf("directory holds %d bytes, %d samples need %d", len(dir), n, need)
 	}
 	for i := 0; i <= n; i++ {
 		d.Offsets = append(d.Offsets, binary.LittleEndian.Uint64(dir[i*8:]))
@@ -146,12 +205,12 @@ func DecodeDirectory(raw []byte) (*Directory, error) {
 	p := need
 	for i := 0; i < n; i++ {
 		if p >= len(dir) {
-			return nil, errCorrupt
+			return nil, corruptf("directory truncated at shape %d of %d", i, n)
 		}
 		nd := int(dir[p])
 		p++
 		if p+nd*4 > len(dir) {
-			return nil, errCorrupt
+			return nil, corruptf("directory truncated inside rank-%d shape %d", nd, i)
 		}
 		shape := make([]int, nd)
 		for j := 0; j < nd; j++ {
@@ -163,7 +222,7 @@ func DecodeDirectory(raw []byte) (*Directory, error) {
 	// Offsets must be monotone.
 	for i := 0; i < n; i++ {
 		if d.Offsets[i] > d.Offsets[i+1] {
-			return nil, errCorrupt
+			return nil, corruptf("offsets not monotone at sample %d (%d > %d)", i, d.Offsets[i], d.Offsets[i+1])
 		}
 	}
 	return d, nil
@@ -190,14 +249,21 @@ func DecodeAppend(raw []byte, dst []Sample) ([]Sample, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, dirBytes, err := parseHeader(raw)
+	_, dirBytes, version, err := parseHeader(raw)
 	if err != nil {
 		return nil, err
 	}
 	data := raw[dataStart(dirBytes):]
+	if version >= 2 {
+		// The version-2 trailer sits after the data section.
+		if len(data) < footerSize {
+			return nil, corruptf("blob too short for the version-2 footer")
+		}
+		data = data[:len(data)-footerSize]
+	}
 	n := d.NumSamples()
 	if n > 0 && d.Offsets[n] > uint64(len(data)) {
-		return nil, errCorrupt
+		return nil, corruptf("payload truncated: directory spans %d bytes, data section holds %d", d.Offsets[n], len(data))
 	}
 	dst = dst[:0]
 	for i := 0; i < n; i++ {
@@ -226,7 +292,7 @@ func (d *Directory) SampleRange(raw []byte, i int) (offset, length int64, shape 
 	if i < 0 || i >= d.NumSamples() {
 		return 0, 0, nil, fmt.Errorf("chunk: sample %d out of range (%d samples)", i, d.NumSamples())
 	}
-	_, dirBytes, err := parseHeader(raw)
+	_, dirBytes, _, err := parseHeader(raw)
 	if err != nil {
 		return 0, 0, nil, err
 	}

@@ -2,6 +2,7 @@ package chunk
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -63,15 +64,96 @@ func TestDecodeRejectsCorrupt(t *testing.T) {
 		"truncated dir": blob[:headerSize+2],
 	}
 	for name, raw := range cases {
-		if _, err := Decode(raw); err == nil {
+		err := mustDecodeErr(t, raw)
+		if err == nil {
 			t.Errorf("%s: Decode should error", name)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
 		}
 	}
 	// Directory claiming more bytes than present.
 	bad := append([]byte(nil), blob...)
 	bad[10] = 0xFF
-	if _, err := Decode(bad); err == nil {
-		t.Error("oversized dirBytes should error")
+	if err := mustDecodeErr(t, bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized dirBytes: error %v does not wrap ErrCorrupt", err)
+	}
+}
+
+func mustDecodeErr(t *testing.T, raw []byte) error {
+	t.Helper()
+	_, err := Decode(raw)
+	return err
+}
+
+// legacyV1Blob rewrites a version-2 blob into the pre-footer version-1
+// layout: strip the trailer and patch the header version field.
+func legacyV1Blob(t *testing.T, blob []byte) []byte {
+	t.Helper()
+	if len(blob) < headerSize+footerSize {
+		t.Fatal("blob too short to down-convert")
+	}
+	old := append([]byte(nil), blob[:len(blob)-footerSize]...)
+	old[4] = legacyVersion
+	old[5] = 0
+	return old
+}
+
+func TestVerifyFooter(t *testing.T) {
+	blob, err := Encode([]Sample{{Shape: []int{3}, Data: []byte("abc")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked, err := Verify(blob); !checked || err != nil {
+		t.Fatalf("Verify(clean v2) = %v, %v; want checked, nil", checked, err)
+	}
+
+	// A single flipped payload bit must fail verification with ErrCorrupt,
+	// even though the blob still parses structurally.
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)-footerSize-1] ^= 0x01
+	checked, err := Verify(flipped)
+	if !checked || err == nil {
+		t.Fatalf("Verify(bit flip) = %v, %v; want checked, error", checked, err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify error %v does not wrap ErrCorrupt", err)
+	}
+
+	// Garbled footer magic is corruption too.
+	badMagic := append([]byte(nil), blob...)
+	copy(badMagic[len(badMagic)-footerSize:], "XXXX")
+	if _, err := Verify(badMagic); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify(bad footer magic) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLegacyV1BlobsStillDecode(t *testing.T) {
+	samples := []Sample{
+		{Shape: []int{2}, Data: []byte("hi")},
+		{Shape: []int{3}, Data: []byte("bye")},
+	}
+	blob, err := Encode(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := legacyV1Blob(t, blob)
+
+	got, err := Decode(old)
+	if err != nil {
+		t.Fatalf("Decode(v1) = %v", err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0].Data, []byte("hi")) || !bytes.Equal(got[1].Data, []byte("bye")) {
+		t.Fatalf("v1 decode mismatch: %+v", got)
+	}
+	// No footer to check: verification is skipped, not failed.
+	if checked, err := Verify(old); checked || err != nil {
+		t.Fatalf("Verify(v1) = %v, %v; want unchecked, nil", checked, err)
+	}
+	// The directory of a v1 blob parses from a prefix exactly like v2.
+	if d, err := DecodeDirectory(old); err != nil || d.NumSamples() != 2 {
+		t.Fatalf("DecodeDirectory(v1) = %v, %v", d, err)
 	}
 }
 

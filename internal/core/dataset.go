@@ -70,6 +70,11 @@ type Dataset struct {
 	// tensor can be assigned").
 	strict bool
 
+	// integrity summarizes what Open learned about the dataset's
+	// integrity state (generation, abandoned staged roots, checksum
+	// coverage). Guarded by ds.mu.
+	integrity IntegrityInfo
+
 	// now supplies timestamps; replaceable in tests.
 	now func() time.Time
 }
@@ -108,10 +113,13 @@ func Create(ctx context.Context, store storage.Provider, name string) (*Dataset,
 		return nil, err
 	}
 	ds.head = headNode.ID
-	if err := ds.persistRoot(ctx); err != nil {
+	// Schema first, root last: the staged-publish protocol (see
+	// persistRoot) means the dataset only becomes visible to Open once the
+	// root that references the schema is published.
+	if err := ds.store.Put(ctx, schemaKey(ds.head), mustJSON(schemaFile{Tensors: []string{}})); err != nil {
 		return nil, err
 	}
-	if err := ds.store.Put(ctx, schemaKey(ds.head), mustJSON(schemaFile{Tensors: []string{}})); err != nil {
+	if err := ds.persistRoot(ctx); err != nil {
 		return nil, err
 	}
 	return ds, nil
@@ -137,13 +145,39 @@ func Open(ctx context.Context, store storage.Provider) (*Dataset, error) {
 	if ds.meta.FormatVersion != FormatVersion {
 		return nil, fmt.Errorf("core: unsupported format version %d", ds.meta.FormatVersion)
 	}
-	rawTree, err := store.Get(ctx, versionTreeKey)
-	if err != nil {
-		return nil, fmt.Errorf("core: missing version tree: %w", err)
+	ds.integrity.Generation = ds.meta.Generation
+
+	// Prefer the published root snapshot: it is written whole under a
+	// fresh key before dataset.json points at it, so unlike the plain head
+	// objects it cannot be torn by a writer killed mid-flush. A legacy
+	// dataset (Generation 0) has no snapshot and opens from plain objects.
+	var root *rootFile
+	if ds.meta.Generation > 0 {
+		root, err = loadRoot(ctx, store, ds.meta.Generation)
+		if err != nil {
+			if !storage.IsNotFound(err) {
+				return nil, err
+			}
+			// Snapshot vanished (over-eager manual cleanup): fall back
+			// to the plain layout and surface the fact.
+			ds.integrity.RootMissing = true
+			root = nil
+		}
 	}
-	ds.tree, err = version.Unmarshal(rawTree)
-	if err != nil {
-		return nil, err
+	if root != nil {
+		ds.tree, err = version.Unmarshal(root.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt version tree in root snapshot %s: %w", rootKey(ds.meta.Generation), err)
+		}
+	} else {
+		rawTree, err := store.Get(ctx, versionTreeKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: missing version tree: %w", err)
+		}
+		ds.tree, err = version.Unmarshal(rawTree)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt version tree: %w", err)
+		}
 	}
 	ds.branch = ds.meta.CurrentBranch
 	headNode, err := ds.tree.Head(ds.branch)
@@ -151,7 +185,20 @@ func Open(ctx context.Context, store storage.Provider) (*Dataset, error) {
 		return nil, err
 	}
 	ds.head = headNode.ID
-	if err := ds.loadTensors(ctx); err != nil {
+
+	// A staged generation past the published one is the footprint of a
+	// writer killed between staging its snapshot and publishing it. The
+	// previous (published) generation stays authoritative; the abandoned
+	// one is reported so fsck can collect it.
+	if ok, err := store.Exists(ctx, rootKey(ds.meta.Generation+1)); err == nil && ok {
+		ds.integrity.AbandonedGeneration = ds.meta.Generation + 1
+	}
+
+	if root != nil && root.Head == ds.head {
+		if err := ds.loadTensorsFromRoot(ctx, root); err != nil {
+			return nil, err
+		}
+	} else if err := ds.loadTensors(ctx); err != nil {
 		return nil, err
 	}
 	return ds, nil
@@ -222,6 +269,15 @@ func (ds *Dataset) CreateTensor(ctx context.Context, spec TensorSpec) (*Tensor, 
 		ds.order = ds.order[:len(ds.order)-1]
 		return nil, err
 	}
+	// Publish a generation covering the schema change so a process that
+	// opens the dataset without an intervening Flush still sees the new
+	// tensor through the snapshot. Roll back on failure: the staged (or
+	// plain) objects are harmless garbage and the call can be retried.
+	if err := ds.persistRoot(ctx); err != nil {
+		delete(ds.tensors, spec.Name)
+		ds.order = ds.order[:len(ds.order)-1]
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -266,7 +322,10 @@ func (ds *Dataset) DeleteTensor(ctx context.Context, name string) error {
 			return err
 		}
 	}
-	return ds.persistSchema(ctx)
+	if err := ds.persistSchema(ctx); err != nil {
+		return err
+	}
+	return ds.persistRoot(ctx)
 }
 
 // Tensor returns an open tensor by name, or nil if absent.
@@ -530,9 +589,21 @@ func (ds *Dataset) ensureWritable() error {
 	return nil
 }
 
-// persistRoot writes dataset.json and the version tree. Caller holds ds.mu
-// exclusively; NextSampleID is copied under idMu because row appends
-// allocate ids outside the structure lock.
+// persistRoot publishes the dataset's mutable head state with the staged
+// write-new-then-publish protocol: stage a complete snapshot of everything a
+// reader needs under the next generation's roots/ key, then atomically flip
+// dataset.json to point at it (FS providers rename into place; object stores
+// replace whole objects). A writer killed anywhere before the dataset.json
+// rewrite leaves the previous generation untouched and fully readable — the
+// staged snapshot and any chunks uploaded for it are mere garbage that fsck
+// collects. version_control.json is also rewritten (after the publish) as a
+// convenience copy for tooling; readers of generation-aware datasets treat
+// the tree embedded in the snapshot as authoritative.
+//
+// Caller holds ds.mu exclusively; NextSampleID is copied under idMu because
+// row appends allocate ids outside the structure lock. The in-memory
+// generation advances only after a successful publish, so a retried flush
+// restages the same generation and converges to identical bytes.
 func (ds *Dataset) persistRoot(ctx context.Context) error {
 	ds.meta.CurrentBranch = ds.branch
 	if ds.branch == "" {
@@ -543,14 +614,36 @@ func (ds *Dataset) persistRoot(ctx context.Context) error {
 	ds.idMu.Lock()
 	meta := ds.meta
 	ds.idMu.Unlock()
-	if err := ds.store.Put(ctx, datasetMetaKey, mustJSON(meta)); err != nil {
-		return err
-	}
 	rawTree, err := ds.tree.Marshal()
 	if err != nil {
 		return err
 	}
-	return ds.store.Put(ctx, versionTreeKey, rawTree)
+	gen := meta.Generation + 1
+	meta.Generation = gen
+	root, err := ds.buildRootLocked(meta, rawTree)
+	if err != nil {
+		return err
+	}
+	if err := ds.store.Put(ctx, rootKey(gen), mustJSON(root)); err != nil {
+		return err
+	}
+	// The publish point: after this Put, generation gen is live.
+	if err := ds.store.Put(ctx, datasetMetaKey, mustJSON(meta)); err != nil {
+		return err
+	}
+	if err := ds.store.Put(ctx, versionTreeKey, rawTree); err != nil {
+		return err
+	}
+	ds.idMu.Lock()
+	ds.meta.Generation = gen
+	ds.idMu.Unlock()
+	// Keep the current and previous snapshots (the previous one is the
+	// crash-recovery target while the next publish is in flight); drop
+	// older ones best-effort.
+	if gen > 2 {
+		_ = ds.store.Delete(ctx, rootKey(gen-2))
+	}
+	return nil
 }
 
 func (ds *Dataset) persistSchema(ctx context.Context) error {
@@ -577,6 +670,7 @@ func (ds *Dataset) loadTensors(ctx context.Context) error {
 		ds.tensors[name] = t
 		ds.order = append(ds.order, name)
 	}
+	ds.seedChecksums()
 	return nil
 }
 

@@ -49,6 +49,13 @@ type TensorMeta struct {
 	// Length is the logical row count (sequence rows for sequence
 	// tensors, samples otherwise).
 	Length uint64 `json:"length"`
+	// Checksums maps chunk names ("%016x" of the chunk id) to the CRC32C
+	// of the stored (post-compression) chunk object. Entries accumulate as
+	// chunks are written and ride along commits, so readers of any version
+	// in this lineage can verify the bytes they fetch. Datasets written
+	// before checksums existed simply have no entries; verification is
+	// skipped for those chunks and surfaced in IntegrityInfo.
+	Checksums map[string]uint32 `json:"checksums,omitempty"`
 }
 
 // datasetMeta is the persisted dataset metadata (dataset.json), the
@@ -59,6 +66,14 @@ type datasetMeta struct {
 	CreatedAt     time.Time `json:"created_at"`
 	CurrentBranch string    `json:"current_branch"`
 	NextSampleID  uint64    `json:"next_sample_id"`
+	// Generation is the commit protocol's publish pointer: every
+	// persistRoot stages a full snapshot of the mutable head state under
+	// roots/<generation> and only then rewrites dataset.json to point at
+	// it. A writer killed mid-flush leaves the previous generation fully
+	// readable. Zero means a legacy dataset written before the staged
+	// protocol existed; such datasets open from the plain per-object
+	// layout.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // schemaFile lists the tensors of one version (schema evolution is tracked
@@ -90,7 +105,16 @@ type chunkSetFile struct {
 const (
 	datasetMetaKey = "dataset.json"
 	versionTreeKey = "version_control.json"
+	rootsPrefix    = "roots/"
 )
+
+// rootKey is the staged snapshot object for one generation; see
+// datasetMeta.Generation.
+func rootKey(gen uint64) string { return fmt.Sprintf("%s%016x", rootsPrefix, gen) }
+
+// chunkName is the canonical textual name of a chunk id, used both as the
+// final key segment and as the TensorMeta.Checksums map key.
+func chunkName(id uint64) string { return fmt.Sprintf("%016x", id) }
 
 func versionPrefix(vid string) string { return "versions/" + vid }
 
@@ -113,7 +137,7 @@ func chunkSetKey(vid, name string) string { return tensorPrefix(vid, name) + "/c
 func diffKey(vid, name string) string { return tensorPrefix(vid, name) + "/diff.json" }
 
 func chunkKey(vid, name string, id uint64) string {
-	return fmt.Sprintf("%s/chunks/%016x", tensorPrefix(vid, name), id)
+	return tensorPrefix(vid, name) + "/chunks/" + chunkName(id)
 }
 
 func marshalJSON(v any) ([]byte, error) { return json.MarshalIndent(v, "", "  ") }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// rootFile is the staged generation snapshot (roots/<gen>): a single object
+// holding every piece of mutable head state — dataset metadata, the version
+// tree, the head schema, and each tensor's metadata, encoders, chunk set and
+// diff. persistRoot writes it under a brand-new key and only then rewrites
+// dataset.json to point at it, so the snapshot a reader follows is immutable
+// once published and a writer killed mid-flush cannot tear it.
+type rootFile struct {
+	Meta datasetMeta `json:"meta"`
+	// Branch/Head identify the version the tensor snapshots belong to.
+	// Open uses the embedded tensor state only when it resolves to the
+	// same head (a detached checkout may publish a root for a commit other
+	// than the branch head a fresh Open lands on).
+	Branch  string                     `json:"branch"`
+	Head    string                     `json:"head"`
+	Tree    json.RawMessage            `json:"tree"`
+	Schema  schemaFile                 `json:"schema"`
+	Tensors map[string]tensorRootState `json:"tensors"`
+}
+
+// tensorRootState is one tensor's full mutable head state as embedded in a
+// root snapshot. Encoder payloads are the same binary blobs the plain
+// per-object layout stores (base64 in JSON).
+type tensorRootState struct {
+	Meta     TensorMeta   `json:"meta"`
+	ChunkEnc []byte       `json:"chunk_encoder,omitempty"`
+	ShapeEnc []byte       `json:"shape_encoder,omitempty"`
+	TileEnc  []byte       `json:"tile_encoder,omitempty"`
+	SeqEnc   []byte       `json:"sequence_encoder,omitempty"`
+	ChunkSet chunkSetFile `json:"chunk_set"`
+	Diff     diffRecord   `json:"diff"`
+}
+
+// buildRootLocked assembles the snapshot for the given (already staged)
+// metadata and marshalled tree. Caller holds ds.mu exclusively.
+func (ds *Dataset) buildRootLocked(meta datasetMeta, rawTree []byte) (*rootFile, error) {
+	root := &rootFile{
+		Meta:    meta,
+		Branch:  ds.branch,
+		Head:    ds.head,
+		Tree:    rawTree,
+		Schema:  schemaFile{Tensors: append([]string{}, ds.order...)},
+		Tensors: make(map[string]tensorRootState, len(ds.order)),
+	}
+	for _, name := range ds.order {
+		st, err := ds.tensors[name].rootState()
+		if err != nil {
+			return nil, err
+		}
+		root.Tensors[name] = st
+	}
+	return root, nil
+}
+
+// loadRoot fetches and parses the snapshot for one generation.
+func loadRoot(ctx context.Context, store storage.Provider, gen uint64) (*rootFile, error) {
+	raw, err := store.Get(ctx, rootKey(gen))
+	if err != nil {
+		return nil, err
+	}
+	root := &rootFile{}
+	if err := unmarshalJSON(raw, root); err != nil {
+		return nil, fmt.Errorf("core: corrupt root snapshot %s: %w", rootKey(gen), err)
+	}
+	return root, nil
+}
+
+// loadTensorsFromRoot opens every tensor from the embedded snapshot state
+// instead of the plain per-object layout. The snapshot is authoritative: the
+// plain head objects may be torn by a writer killed mid-flush, but the
+// published root never is.
+func (ds *Dataset) loadTensorsFromRoot(ctx context.Context, root *rootFile) error {
+	ds.tensors = map[string]*Tensor{}
+	ds.order = nil
+	for _, name := range root.Schema.Tensors {
+		st, ok := root.Tensors[name]
+		if !ok {
+			return fmt.Errorf("core: root snapshot generation %d lists tensor %q in its schema but carries no state for it", root.Meta.Generation, name)
+		}
+		t, err := loadTensorFromState(ctx, ds, name, st)
+		if err != nil {
+			return fmt.Errorf("core: load tensor %q: %w", name, err)
+		}
+		ds.tensors[name] = t
+		ds.order = append(ds.order, name)
+	}
+	ds.seedChecksums()
+	return nil
+}
+
+// loadTensorFromState builds a tensor handle from snapshot state. Ancestor
+// versions are still resolved through the tree (their chunk sets are frozen
+// at commit time and safe to read as plain objects); only the head version's
+// chunk set comes from the snapshot.
+func loadTensorFromState(ctx context.Context, ds *Dataset, name string, st tensorRootState) (*Tensor, error) {
+	hspec, err := tensor.ParseHtype(st.Meta.Htype)
+	if err != nil {
+		return nil, err
+	}
+	t := newTensorShell(ds, name, st.Meta, hspec)
+	if err := t.resolveCodecs(); err != nil {
+		return nil, err
+	}
+	for blob, enc := range map[*[]byte]binaryCodec{
+		&st.ChunkEnc: t.chunkEnc,
+		&st.ShapeEnc: t.shapeEnc,
+		&st.TileEnc:  t.tileEnc,
+		&st.SeqEnc:   t.seqEnc,
+	} {
+		if len(*blob) == 0 {
+			continue
+		}
+		if err := enc.UnmarshalBinary(*blob); err != nil {
+			return nil, err
+		}
+	}
+	t.diff = st.Diff
+	if err := t.resolveChunkVersionsWith(ctx, st.ChunkSet.Chunks, true); err != nil {
+		return nil, err
+	}
+	t.savedState, t.savedStateOK = st, true
+	return t, nil
+}
+
+// seedChecksums registers every resolved chunk's recorded CRC32C with a
+// storage.Verify layer in the provider chain (a no-op when none is stacked),
+// and tallies coverage for IntegrityInfo. Called after tensor loading, when
+// the chunk-to-version maps are complete.
+func (ds *Dataset) seedChecksums() {
+	digests := map[string]uint32{}
+	withDigest, withoutDigest := 0, 0
+	for _, name := range ds.order {
+		t := ds.tensors[name]
+		for id, vid := range t.chunkVersion {
+			crc, ok := t.meta.Checksums[chunkName(id)]
+			if !ok {
+				withoutDigest++
+				continue
+			}
+			withDigest++
+			digests[chunkKey(vid, t.name, id)] = crc
+		}
+	}
+	ds.integrity.ChunksWithChecksum = withDigest
+	ds.integrity.ChunksWithoutChecksum = withoutDigest
+	ds.integrity.SeededDigests = storage.SeedDigests(ds.store, digests)
+}
+
+// IntegrityInfo summarizes what the integrity machinery knows about an open
+// dataset: which commit generation it reads from, whether a staged-but-never-
+// published generation from a crashed writer was found, and how much of the
+// chunk population carries checksums.
+type IntegrityInfo struct {
+	// Generation is the published commit generation this handle opened at
+	// (0 for legacy datasets written before the staged-root protocol, or
+	// for a handle that created the dataset in this process).
+	Generation uint64
+	// AbandonedGeneration is a staged generation found past the published
+	// one — the footprint of a writer killed between staging its snapshot
+	// and publishing it. Zero when none was found. The abandoned snapshot
+	// and its chunks are garbage; fsck -repair removes them.
+	AbandonedGeneration uint64
+	// RootMissing reports that dataset.json pointed at a generation whose
+	// snapshot object was gone, so the dataset opened from the plain
+	// per-object layout instead.
+	RootMissing bool
+	// ChunksWithChecksum / ChunksWithoutChecksum count resolved chunks
+	// with and without a recorded CRC32C. Pre-checksum datasets show all
+	// chunks unverified rather than failing to open.
+	ChunksWithChecksum    int
+	ChunksWithoutChecksum int
+	// SeededDigests is how many digests were handed to a storage.Verify
+	// layer at load time (0 when the provider chain has none).
+	SeededDigests int
+}
+
+// Integrity reports the handle's integrity summary.
+func (ds *Dataset) Integrity() IntegrityInfo {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.integrity
+}
+
+// parseChunkName inverts chunkName; ok is false for malformed names.
+func parseChunkName(name string) (uint64, bool) {
+	id, err := strconv.ParseUint(name, 16, 64)
+	return id, err == nil
+}

@@ -50,6 +50,14 @@ type Tensor struct {
 	chunkSet map[uint64]bool
 
 	diff diffRecord
+
+	// savedState is the tensor state as of the last successful save()
+	// (or as loaded), i.e. the durable state whose chunks are all in
+	// storage. Root snapshots embed this rather than the live state, so a
+	// generation published between flushes (e.g. by CreateTensor) never
+	// references pending chunks. Guarded like the rest of the write state.
+	savedState   tensorRootState
+	savedStateOK bool
 }
 
 // newTensor builds an empty tensor from a spec and resolves codecs.
@@ -89,24 +97,33 @@ func newTensor(ds *Dataset, spec TensorSpec) (*Tensor, error) {
 		Hidden:            spec.Hidden,
 		Bounds:            bounds,
 	}
+	t := newTensorShell(ds, spec.Name, meta, hspec)
+	if err := t.resolveCodecs(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// newTensorShell builds the common in-memory skeleton of a tensor handle:
+// fresh encoders, an empty builder sized from meta.Bounds, empty chunk maps.
+// Callers still resolve codecs and (when loading) hydrate encoder/diff/chunk
+// state.
+func newTensorShell(ds *Dataset, name string, meta TensorMeta, hspec tensor.HtypeSpec) *Tensor {
 	t := &Tensor{
 		ds:           ds,
-		name:         spec.Name,
+		name:         name,
 		meta:         meta,
 		spec:         hspec,
 		chunkEnc:     encoder.NewChunkEncoder(),
 		shapeEnc:     encoder.NewShapeEncoder(),
 		tileEnc:      encoder.NewTileEncoder(),
 		seqEnc:       encoder.NewSequenceEncoder(),
-		builder:      chunk.NewBuilder(bounds),
+		builder:      chunk.NewBuilder(meta.Bounds),
 		chunkVersion: map[uint64]string{},
 		chunkSet:     map[uint64]bool{},
 	}
 	t.builder.SetAutotune(int(ds.writeOpts.AutotuneChunkBytes))
-	if err := t.resolveCodecs(); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return t
 }
 
 func normalizeCodecName(name string) string {
@@ -150,20 +167,7 @@ func loadTensor(ctx context.Context, ds *Dataset, name string) (*Tensor, error) 
 	if err != nil {
 		return nil, err
 	}
-	t := &Tensor{
-		ds:           ds,
-		name:         name,
-		meta:         meta,
-		spec:         hspec,
-		chunkEnc:     encoder.NewChunkEncoder(),
-		shapeEnc:     encoder.NewShapeEncoder(),
-		tileEnc:      encoder.NewTileEncoder(),
-		seqEnc:       encoder.NewSequenceEncoder(),
-		builder:      chunk.NewBuilder(meta.Bounds),
-		chunkVersion: map[uint64]string{},
-		chunkSet:     map[uint64]bool{},
-	}
-	t.builder.SetAutotune(int(ds.writeOpts.AutotuneChunkBytes))
+	t := newTensorShell(ds, name, meta, hspec)
 	if err := t.resolveCodecs(); err != nil {
 		return nil, err
 	}
@@ -189,6 +193,9 @@ func loadTensor(ctx context.Context, ds *Dataset, name string) (*Tensor, error) 
 	if err := t.resolveChunkVersions(ctx); err != nil {
 		return nil, err
 	}
+	if st, err := t.snapshotState(); err == nil {
+		t.savedState, t.savedStateOK = st, true
+	}
 	return t, nil
 }
 
@@ -213,6 +220,15 @@ func loadEncoder(ctx context.Context, store storage.Provider, key string, enc bi
 // id, the first (newest) version that materializes it — the paper's chunk
 // resolution rule (§4.2).
 func (t *Tensor) resolveChunkVersions(ctx context.Context) error {
+	return t.resolveChunkVersionsWith(ctx, nil, false)
+}
+
+// resolveChunkVersionsWith is resolveChunkVersions with an optional override
+// for the head version's chunk set: when haveHead is true, headChunks is used
+// instead of reading the head's chunk_set.json. Root-snapshot loading passes
+// the embedded set, since the plain head object may be torn by a writer
+// killed mid-flush while ancestor chunk sets are frozen at commit time.
+func (t *Tensor) resolveChunkVersionsWith(ctx context.Context, headChunks []uint64, haveHead bool) error {
 	anc, err := t.ds.tree.Ancestry(t.ds.head)
 	if err != nil {
 		return err
@@ -220,18 +236,24 @@ func (t *Tensor) resolveChunkVersions(ctx context.Context) error {
 	t.chunkVersion = map[uint64]string{}
 	t.chunkSet = map[uint64]bool{}
 	for i, vid := range anc {
-		raw, err := t.ds.store.Get(ctx, chunkSetKey(vid, t.name))
-		if storage.IsNotFound(err) {
-			continue
+		var ids []uint64
+		if i == 0 && haveHead {
+			ids = headChunks
+		} else {
+			raw, err := t.ds.store.Get(ctx, chunkSetKey(vid, t.name))
+			if storage.IsNotFound(err) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			var set chunkSetFile
+			if err := unmarshalJSON(raw, &set); err != nil {
+				return err
+			}
+			ids = set.Chunks
 		}
-		if err != nil {
-			return err
-		}
-		var set chunkSetFile
-		if err := unmarshalJSON(raw, &set); err != nil {
-			return err
-		}
-		for _, id := range set.Chunks {
+		for _, id := range ids {
 			if _, seen := t.chunkVersion[id]; !seen {
 				t.chunkVersion[id] = vid
 			}
@@ -302,33 +324,76 @@ func (t *Tensor) allocChunkID() uint64 {
 // drain before persisting the root files that reference them). Caller
 // holds ds.mu exclusively.
 func (t *Tensor) save(ctx context.Context) error {
-	vid := t.ds.head
-	if err := t.ds.putObject(ctx, tensorMetaKey(vid, t.name), mustJSON(t.meta)); err != nil {
+	st, err := t.snapshotState()
+	if err != nil {
 		return err
 	}
-	for key, enc := range map[string]binaryCodec{
-		chunkEncoderKey(vid, t.name): t.chunkEnc,
-		shapeEncoderKey(vid, t.name): t.shapeEnc,
-		tileEncoderKey(vid, t.name):  t.tileEnc,
-		seqEncoderKey(vid, t.name):   t.seqEnc,
+	vid := t.ds.head
+	if err := t.ds.putObject(ctx, tensorMetaKey(vid, t.name), mustJSON(st.Meta)); err != nil {
+		return err
+	}
+	for key, blob := range map[string][]byte{
+		chunkEncoderKey(vid, t.name): st.ChunkEnc,
+		shapeEncoderKey(vid, t.name): st.ShapeEnc,
+		tileEncoderKey(vid, t.name):  st.TileEnc,
+		seqEncoderKey(vid, t.name):   st.SeqEnc,
 	} {
-		blob, err := enc.MarshalBinary()
-		if err != nil {
-			return err
-		}
 		if err := t.ds.putObject(ctx, key, blob); err != nil {
 			return err
 		}
+	}
+	if err := t.ds.putObject(ctx, chunkSetKey(vid, t.name), mustJSON(st.ChunkSet)); err != nil {
+		return err
+	}
+	if err := t.ds.putObject(ctx, diffKey(vid, t.name), mustJSON(st.Diff)); err != nil {
+		return err
+	}
+	t.savedState, t.savedStateOK = st, true
+	return nil
+}
+
+// snapshotState captures the tensor's live state as a root-snapshot record.
+// The Checksums map is deep-copied: the live map keeps growing as chunks are
+// written, while the snapshot must stay frozen at save time.
+func (t *Tensor) snapshotState() (tensorRootState, error) {
+	st := tensorRootState{Meta: t.meta, Diff: t.diff}
+	if len(t.meta.Checksums) > 0 {
+		cs := make(map[string]uint32, len(t.meta.Checksums))
+		for k, v := range t.meta.Checksums {
+			cs[k] = v
+		}
+		st.Meta.Checksums = cs
+	}
+	var err error
+	if st.ChunkEnc, err = t.chunkEnc.MarshalBinary(); err != nil {
+		return st, err
+	}
+	if st.ShapeEnc, err = t.shapeEnc.MarshalBinary(); err != nil {
+		return st, err
+	}
+	if st.TileEnc, err = t.tileEnc.MarshalBinary(); err != nil {
+		return st, err
+	}
+	if st.SeqEnc, err = t.seqEnc.MarshalBinary(); err != nil {
+		return st, err
 	}
 	ids := make([]uint64, 0, len(t.chunkSet))
 	for id := range t.chunkSet {
 		ids = append(ids, id)
 	}
 	sortUint64s(ids)
-	if err := t.ds.putObject(ctx, chunkSetKey(vid, t.name), mustJSON(chunkSetFile{Chunks: ids})); err != nil {
-		return err
+	st.ChunkSet = chunkSetFile{Chunks: ids}
+	return st, nil
+}
+
+// rootState returns the state a root snapshot should embed: the last durably
+// saved state when one exists, else the live state of a tensor created in
+// this process and not yet saved (necessarily empty, hence durable).
+func (t *Tensor) rootState() (tensorRootState, error) {
+	if t.savedStateOK {
+		return t.savedState, nil
 	}
-	return t.ds.putObject(ctx, diffKey(vid, t.name), mustJSON(t.diff))
+	return t.snapshotState()
 }
 
 // flushPending seals the buffered chunk and writes it to storage. Caller
@@ -363,6 +428,13 @@ func (t *Tensor) writeChunk(ctx context.Context, id uint64, blob []byte) error {
 			return err
 		}
 	}
+	// Record the stored object's CRC32C in the checksum manifest before the
+	// bytes go out: the digest describes the blob we hand to storage, so
+	// even a parked-and-redriven upload lands bytes matching the manifest.
+	if t.meta.Checksums == nil {
+		t.meta.Checksums = map[string]uint32{}
+	}
+	t.meta.Checksums[chunkName(id)] = storage.Checksum(blob)
 	key := chunkKey(t.ds.head, t.name, id)
 	if fp := t.ds.flusher; fp != nil {
 		// The pipeline records the blob even when enqueue errors (sticky
@@ -388,10 +460,16 @@ func (t *Tensor) writeChunk(ctx context.Context, id uint64, blob []byte) error {
 	return nil
 }
 
-// readChunk fetches and decompresses chunk id, resolving the owning
-// version directory through the version map. Chunks whose upload is still
-// in flight are served from the pipeline's pending map, so same-process
-// readers never race the background uploaders.
+// readChunk fetches, decompresses and integrity-checks chunk id, resolving
+// the owning version directory through the version map. Chunks whose upload
+// is still in flight are served from the pipeline's pending map, so
+// same-process readers never race the background uploaders.
+//
+// Corruption detected above the storage chain (a decompression failure or a
+// failed chunk-footer CRC) is healed once: the poisoned copy is evicted from
+// any cache in the chain and the chunk re-fetched through the verifying
+// providers. Bytes that are still bad after that surface as an error naming
+// the exact object, wrapping chunk.ErrCorrupt.
 func (t *Tensor) readChunk(ctx context.Context, id uint64) ([]byte, error) {
 	vid, ok := t.chunkVersion[id]
 	if !ok {
@@ -406,13 +484,50 @@ func (t *Tensor) readChunk(ctx context.Context, id uint64) ([]byte, error) {
 		var err error
 		raw, err = t.ds.store.Get(ctx, key)
 		if err != nil {
+			if storage.IsNotFound(err) {
+				return nil, fmt.Errorf("core: chunk object %q of tensor %q is referenced by the manifest but missing from storage: %w", key, t.name, err)
+			}
 			return nil, err
 		}
 	}
-	if t.chunkCodec != nil {
-		return t.chunkCodec.Decompress(raw)
+	blob, err := t.decodeChunkBlob(raw)
+	if err == nil {
+		return blob, nil
 	}
-	return raw, nil
+	if inflight {
+		// In-memory pending bytes never involve a cache or transport;
+		// corruption here is a real bug, not a heal candidate.
+		return nil, fmt.Errorf("core: in-flight chunk %q of tensor %q: %w", key, t.name, err)
+	}
+	storage.Evict(t.ds.store, key)
+	raw, ferr := t.ds.store.Get(ctx, key)
+	if ferr != nil {
+		return nil, fmt.Errorf("core: re-fetch of corrupt chunk %q of tensor %q failed: %w", key, t.name, ferr)
+	}
+	blob, err = t.decodeChunkBlob(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: chunk object %q of tensor %q is corrupt after re-fetch: %w", key, t.name, err)
+	}
+	return blob, nil
+}
+
+// decodeChunkBlob decompresses a stored chunk object and verifies its footer
+// CRC when the chunk format carries one. Every failure mode wraps
+// chunk.ErrCorrupt: a blob that fails to decompress is by definition not the
+// bytes the writer produced.
+func (t *Tensor) decodeChunkBlob(raw []byte) ([]byte, error) {
+	blob := raw
+	if t.chunkCodec != nil {
+		var err error
+		blob, err = t.chunkCodec.Decompress(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: decompress: %w", chunk.ErrCorrupt, err)
+		}
+	}
+	if _, err := chunk.Verify(blob); err != nil {
+		return nil, err
+	}
+	return blob, nil
 }
 
 func sortUint64s(s []uint64) {

@@ -44,6 +44,16 @@ type FaultConfig struct {
 	PartialRate float64
 	// PartialBytes is the prefix length of a partial read. Zero means 1KB.
 	PartialBytes int64
+	// CorruptRate is the probability that a Get (or one range of a batched
+	// GetRanges) *succeeds* with silently corrupted bytes: the object is
+	// genuinely fetched through the inner provider, then one seeded byte is
+	// flipped. Unlike the error-kind faults this failure is invisible to the
+	// transport — only a digest check (Verify) or chunk footer catches it.
+	CorruptRate float64
+	// TruncateRate is the probability that a Get (or one range of a batched
+	// GetRanges) *succeeds* with the payload cut short at a seeded point —
+	// the silent-truncation cousin of CorruptRate.
+	TruncateRate float64
 	// MaxFaults caps the total number of injected faults; once reached the
 	// provider becomes transparent. Zero means unlimited. A cap of 1 with
 	// GetErrRate 1 injects exactly one fault on the first Get — the
@@ -55,16 +65,23 @@ type FaultConfig struct {
 type FaultStats struct {
 	// Errors, Stalls and Partials count injected faults by kind.
 	Errors, Stalls, Partials int64
+	// Corruptions and Truncations count reads that succeeded with silently
+	// damaged bytes (bit flip / short payload).
+	Corruptions, Truncations int64
 }
 
 // Total is the number of faults injected so far.
-func (s FaultStats) Total() int64 { return s.Errors + s.Stalls + s.Partials }
+func (s FaultStats) Total() int64 {
+	return s.Errors + s.Stalls + s.Partials + s.Corruptions + s.Truncations
+}
 
 // Faulty wraps a provider with deterministic fault injection for chaos
 // testing: per-op-class transient error rates, stalls that black-hole until
-// the context deadline, and fail-after-N-bytes partial reads. Injected
-// errors carry ErrTransient, so a Retry layer stacked above recovers them
-// while tests without one observe the raw failure. Typically Faulty wraps a
+// the context deadline, fail-after-N-bytes partial reads, and silent
+// bit-flip/truncation faults that succeed with damaged bytes (CorruptRate /
+// TruncateRate — the faults only a Verify layer or chunk footer catches).
+// Injected errors carry ErrTransient, so a Retry layer stacked above
+// recovers them while tests without one observe the raw failure. Typically Faulty wraps a
 // Sim provider, making the flaky endpoint also pay simulated network costs.
 //
 // The schedule is seeded and reproducible (see FaultConfig); SetArmed(false)
@@ -75,12 +92,14 @@ type Faulty struct {
 	inner Provider
 	cfg   FaultConfig
 
-	armed    atomic.Bool
-	seq      [faultClasses]atomic.Int64
-	injected atomic.Int64
-	errors   atomic.Int64
-	stalls   atomic.Int64
-	partials atomic.Int64
+	armed       atomic.Bool
+	seq         [faultClasses]atomic.Int64
+	injected    atomic.Int64
+	errors      atomic.Int64
+	stalls      atomic.Int64
+	partials    atomic.Int64
+	corruptions atomic.Int64
+	truncations atomic.Int64
 }
 
 // NewFaulty wraps inner with the given fault schedule, armed.
@@ -103,9 +122,11 @@ func (f *Faulty) SetArmed(on bool) { f.armed.Store(on) }
 // Stats reports how many faults have been injected, by kind.
 func (f *Faulty) Stats() FaultStats {
 	return FaultStats{
-		Errors:   f.errors.Load(),
-		Stalls:   f.stalls.Load(),
-		Partials: f.partials.Load(),
+		Errors:      f.errors.Load(),
+		Stalls:      f.stalls.Load(),
+		Partials:    f.partials.Load(),
+		Corruptions: f.corruptions.Load(),
+		Truncations: f.truncations.Load(),
 	}
 }
 
@@ -116,6 +137,8 @@ const (
 	faultStall
 	faultErr
 	faultPartial
+	faultCorrupt
+	faultTruncate
 )
 
 // roll decides the outcome for the next operation of the given class.
@@ -134,6 +157,8 @@ func (f *Faulty) rollSeq(class int, errRate float64) (faultKind, int64) {
 	h := splitmix64(uint64(f.cfg.Seed)<<20 ^ uint64(class)<<56 ^ uint64(n))
 	u := float64(h>>11) / (1 << 53)
 	kind := faultNone
+	// The corruption kinds extend the threshold ladder past the existing
+	// kinds, so configs that predate them draw exactly the same schedule.
 	partialClass := class == faultClassGet || class == faultClassBatch
 	switch {
 	case u < f.cfg.StallRate:
@@ -142,6 +167,10 @@ func (f *Faulty) rollSeq(class int, errRate float64) (faultKind, int64) {
 		kind = faultErr
 	case partialClass && u < f.cfg.StallRate+errRate+f.cfg.PartialRate:
 		kind = faultPartial
+	case partialClass && u < f.cfg.StallRate+errRate+f.cfg.PartialRate+f.cfg.CorruptRate:
+		kind = faultCorrupt
+	case partialClass && u < f.cfg.StallRate+errRate+f.cfg.PartialRate+f.cfg.CorruptRate+f.cfg.TruncateRate:
+		kind = faultTruncate
 	}
 	if kind == faultNone {
 		return faultNone, n
@@ -158,8 +187,30 @@ func (f *Faulty) rollSeq(class int, errRate float64) (faultKind, int64) {
 		f.errors.Add(1)
 	case faultPartial:
 		f.partials.Add(1)
+	case faultCorrupt:
+		f.corruptions.Add(1)
+	case faultTruncate:
+		f.truncations.Add(1)
 	}
 	return kind, n
+}
+
+// damage applies the seeded silent fault to data fetched successfully from
+// the inner provider: faultCorrupt XORs one byte at a seeded position,
+// faultTruncate cuts the payload at a seeded point. Empty payloads are
+// returned unchanged (there is nothing to damage).
+func (f *Faulty) damage(kind faultKind, seq int64, data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	h := splitmix64(uint64(f.cfg.Seed)<<28 ^ uint64(seq))
+	switch kind {
+	case faultCorrupt:
+		data[h%uint64(len(data))] ^= 0xA5
+	case faultTruncate:
+		data = data[:h%uint64(len(data))] // cut in [0, len)
+	}
+	return data
 }
 
 // stall blocks until ctx is done and returns its error: the black-hole
@@ -177,7 +228,8 @@ func (f *Faulty) injectedErr(class int, key string) error {
 
 // Get implements Provider.
 func (f *Faulty) Get(ctx context.Context, key string) ([]byte, error) {
-	switch f.roll(faultClassGet, f.cfg.GetErrRate) {
+	kind, seq := f.rollSeq(faultClassGet, f.cfg.GetErrRate)
+	switch kind {
 	case faultStall:
 		return nil, f.stall(ctx)
 	case faultErr:
@@ -188,6 +240,15 @@ func (f *Faulty) Get(ctx context.Context, key string) ([]byte, error) {
 		_, _ = f.inner.GetRange(ctx, key, 0, f.cfg.PartialBytes)
 		return nil, fmt.Errorf("storage: injected partial read of %q after %d bytes: %w",
 			key, f.cfg.PartialBytes, ErrTransient)
+	case faultCorrupt, faultTruncate:
+		// A silent fault: the full object genuinely transfers (charging any
+		// simulated network below), then the bytes are damaged on the way up
+		// and the call *succeeds* — only an integrity check can tell.
+		data, err := f.inner.Get(ctx, key)
+		if err != nil {
+			return data, err
+		}
+		return f.damage(kind, seq, data), nil
 	}
 	return f.inner.Get(ctx, key)
 }
@@ -210,6 +271,16 @@ func (f *Faulty) GetRanges(ctx context.Context, reqs []RangeReq) ([][]byte, erro
 	switch kind {
 	case faultStall:
 		return make([][]byte, len(reqs)), f.stall(ctx)
+	case faultCorrupt, faultTruncate:
+		// The whole batch genuinely serves, then one seeded victim range is
+		// silently damaged; the call succeeds, its siblings are untouched.
+		out, err := GetRanges(ctx, f.inner, reqs)
+		if err != nil {
+			return out, err
+		}
+		victim := int(splitmix64(uint64(f.cfg.Seed)<<24^uint64(seq)) % uint64(len(reqs)))
+		out[victim] = f.damage(kind, seq, out[victim])
+		return out, nil
 	case faultErr, faultPartial:
 		// Deterministic cut: depends only on (Seed, class sequence), so the
 		// same config over the same batch sequence cuts at the same points.

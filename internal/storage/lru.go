@@ -157,6 +157,11 @@ type Stats struct {
 	// Faults counts faults injected by a Faulty layer below this cache
 	// (0 when none is stacked).
 	Faults int64
+	// CorruptionsDetected, CorruptionsRepaired and Quarantined are gathered
+	// from a Verify layer below this cache (all 0 when none is stacked):
+	// digest mismatches observed, mismatches resolved by a self-healing
+	// re-fetch, and keys quarantined after repeated mismatches.
+	CorruptionsDetected, CorruptionsRepaired, Quarantined int64
 	// Shards is the per-shard breakdown, indexed by shard number.
 	Shards []ShardStats
 }
@@ -185,6 +190,11 @@ func (l *LRU) Stats() Stats {
 			s.Retries += v.Stats().Retries
 		case *Faulty:
 			s.Faults += v.Stats().Total()
+		case *Verify:
+			vs := v.Stats()
+			s.CorruptionsDetected += vs.Detected
+			s.CorruptionsRepaired += vs.Repaired
+			s.Quarantined += vs.Quarantined
 		case *Counting:
 			if !sawCounting {
 				s.Origin = v.Snapshot()
@@ -262,6 +272,11 @@ func (s *lruShard) evict(key string) {
 		s.used -= int64(len(el.Value.(*lruEntry).data))
 	}
 }
+
+// Evict drops key from the cache without touching the origin. Callers that
+// discover a cached object is bad (a failed chunk-footer check above the
+// cache) evict it so the next Get re-fetches through the verifying chain.
+func (l *LRU) Evict(key string) { l.shard(key).evict(key) }
 
 // Get implements Provider. Concurrent misses on the same key are coalesced
 // into a single origin fetch.

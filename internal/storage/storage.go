@@ -13,25 +13,48 @@
 //     or an interface{ Transient() bool }) that a Retry wrapper may safely
 //     re-attempt. Context errors and ErrNotFound are never retryable.
 //
+// A third predicate covers silent corruption:
+//
+//   - IsCorrupted(err): stored bytes failed a CRC32C check against their
+//     recorded digest (see Verify). Distinct from both of the above: the key
+//     exists and the transport worked, but the bytes are wrong.
+//
 // Every wrapper in the chain (Prefix, Sim, LRU, Counting, Flaky, Faulty,
-// Retry) must keep these predicates working through it: return inner errors
-// unchanged, or wrap them with fmt.Errorf("...: %w", err) so errors.Is/As
-// still see the sentinels. A wrapper that flattens an inner error into a new
-// string breaks retry classification for everything stacked above it.
-// Providers signal a missing key with ErrNotFound (wrapped or bare) and mark
-// only genuinely momentary failures transient — never validation errors.
+// Retry, Verify) must keep these predicates working through it: return inner
+// errors unchanged, or wrap them with fmt.Errorf("...: %w", err) so
+// errors.Is/As still see the sentinels. A wrapper that flattens an inner
+// error into a new string breaks retry classification for everything stacked
+// above it. Providers signal a missing key with ErrNotFound (wrapped or
+// bare) and mark only genuinely momentary failures transient — never
+// validation errors.
 //
 // # Resilient chain order
 //
 // The canonical resilient read chain is, outermost first:
 //
-//	LRU (singleflight + cache) -> Retry -> Counting -> Sim/S3 origin
+//	LRU (singleflight + cache) -> Verify -> Retry -> Counting -> Sim/S3 origin
 //
 // Retry sits below the LRU's singleflight so that when N readers coalesce on
 // one miss, a transient origin fault is retried once by the flight leader on
 // behalf of all N waiters — one extra origin request total, not N recovery
 // storms. Counting placed below Retry observes per-attempt traffic; placed
 // above it, logical (net-of-retries) traffic.
+//
+// # Integrity
+//
+// Verify sits under the LRU and above Retry: under the LRU so that only
+// bytes that passed their digest check are ever admitted to the cache (and
+// so a corruption heal, like any miss, runs exactly once for N coalesced
+// waiters — the flight leader heals on behalf of all of them); above Retry
+// so its own re-fetch of a corrupted object rides the ordinary retry/backoff
+// machinery below and is itself shielded from transient faults. A digest
+// mismatch that survives the heal budget is reported as an error that is
+// both Transient and ErrCorrupted: transient because a re-fetch can
+// legitimately return different — correct — bytes (the origin copy may be
+// rewritten, the corruption may live in a middlebox), so an upper retry
+// layer is allowed to try again; ErrCorrupted so callers and fsck can still
+// classify the failure precisely. Keys that keep failing are quarantined and
+// fail fast without touching the origin until a Put replaces the object.
 package storage
 
 import (
