@@ -12,7 +12,7 @@
 // Usage:
 //
 //	benchfig [-n N] [-workers W] [-side PX] [-json [-json-dir DIR]] \
-//	         [-fetch-batch CHUNKS] [-autotune-cap BYTES] \
+//	         [-fetch-batch CHUNKS] [-autotune-cap BYTES] [-ranks R] \
 //	         [fig6|fig7|fig8|fig9|fig10|readers|tql|ingest|train|ablations|all]
 //
 // The absolute-throughput knobs (train scenario):
@@ -27,6 +27,11 @@
 //     bounds and lets the autotuner grow chunks toward this cap; 0 keeps
 //     the scenario default (16KiB at toy scale), negative disables the
 //     autotuner entirely to measure the untuned layout.
+//   - -ranks sets how many rank-sharded loaders run colocated on one
+//     simulated node, all sharing one node-level decoded-chunk cache; the
+//     runner asserts each shared chunk is fetched+decoded once per NODE
+//     (not once per rank), and a kill+reopen pass over the local-disk tier
+//     must show a nonzero warm-start hit rate with byte-identical batches.
 package main
 
 import (
@@ -52,6 +57,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	fetchBatch := flag.Int("fetch-batch", 0, "train: chunks per coalesced prefetch strip (0 = default 32, negative disables batching)")
 	autotuneCap := flag.Int("autotune-cap", 0, "train: ingest chunk autotuner cap in bytes (0 = default, negative disables)")
+	ranks := flag.Int("ranks", 0, "train: same-node rank loaders sharing one node-level chunk cache (0 = default 4); the runner enforces per-node decode-once across them")
 	jsonOut := flag.Bool("json", false, "write BENCH_<scenario>.json with the measured series")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output")
 	flag.Parse()
@@ -89,7 +95,7 @@ func main() {
 	run := func(r runner) {
 		cfg := bench.Config{
 			N: *n, Workers: *workers, ImageSide: *side, Seed: *seed,
-			FetchBatch: *fetchBatch, AutotuneCapBytes: *autotuneCap,
+			FetchBatch: *fetchBatch, AutotuneCapBytes: *autotuneCap, Ranks: *ranks,
 		}
 		if cfg.N == 0 {
 			cfg.N = r.def

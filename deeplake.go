@@ -383,6 +383,58 @@ func WithVerify(origin Provider, opts VerifyOptions) *storage.Verify {
 	return storage.NewVerify(origin, opts)
 }
 
+// DiskTierOptions configures the local-disk cache tier; see WithDiskTier.
+type DiskTierOptions = storage.DiskOptions
+
+// DiskTierStats reports a disk tier's counters: hits (with the warm-start
+// subset ledgered separately as WarmHits), misses, evictions, detected
+// corruptions, and the resident population. Also surfaced through the RAM
+// cache's CacheStats.Disk when the tier sits under a WithCache layer.
+type DiskTierStats = storage.DiskStats
+
+// WithDiskTier chains a local-disk cache at dir between the in-memory cache
+// and the origin, completing the §3.6 storage hierarchy: RAM over local
+// disk over (remote) origin —
+//
+//	disk, _ := deeplake.WithDiskTier(origin, "/tmp/dl-cache", deeplake.DiskTierOptions{})
+//	cache := deeplake.WithLRUCache(disk, 1<<30)
+//
+// The tier persists fetched objects under dir (atomically, crash-safely)
+// and indexes whatever a previous process left there, so a restarted
+// training job starts warm: chunks the killed run already paid origin round
+// trips for are served from local disk, ledgered as WarmHits. Reads from
+// disk are CRC32C-verified against digests seeded from the dataset's chunk
+// checksum manifests at Open; a file corrupted while the process was down
+// is deleted and transparently re-fetched from the origin.
+func WithDiskTier(origin Provider, dir string, opts DiskTierOptions) (*storage.Disk, error) {
+	return storage.NewDisk(origin, dir, opts)
+}
+
+// NodeCache is a node-level decoded-chunk cache shared between Loaders via
+// LoaderOptions.Cache: every rank's loader colocated on one node reads
+// through it, so a chunk shared between ranks is fetched and decoded once
+// per NODE per epoch instead of once per rank (§3.5's buffer cache at node
+// scope). Entries are keyed by dataset + commit + tensor + chunk, so
+// loaders over different datasets or commits share one cache safely, and
+// chunks with outstanding planned jobs are pinned against eviction so a
+// tight budget never forces a silent re-decode. NodeCache.Stats reports the
+// node-level counters.
+type NodeCache = dataloader.NodeCache
+
+// NodeCacheStats is a point-in-time copy of a NodeCache's counters.
+type NodeCacheStats = dataloader.NodeCacheStats
+
+// NewNodeCache builds a shared decoded-chunk cache with the given byte
+// budget (<=0 means the loader default, 256MB):
+//
+//	node := deeplake.NewNodeCache(1 << 30)
+//	for rank := 0; rank < 4; rank++ {
+//		loaders[rank] = deeplake.NewLoader(v, deeplake.LoaderOptions{
+//			Rank: rank, WorldSize: 4, Cache: node,
+//		})
+//	}
+func NewNodeCache(budget int64) *NodeCache { return dataloader.NewNodeCache(budget) }
+
 // Fsck types, re-exported for integrity tooling.
 type (
 	// FsckOptions selects fsck behavior (Repair collects garbage and

@@ -145,6 +145,11 @@ type Config struct {
 	// autotuner ceiling (0 = scenario default; negative disables the
 	// autotuner, leaving the deliberately pathological static bounds).
 	AutotuneCapBytes int
+	// Ranks sets the train scenario's simulated same-node rank count: that
+	// many rank-sharded loaders share one node-level decoded-chunk cache,
+	// and the runner enforces per-NODE decode-once across them (0 =
+	// scenario default of 4).
+	Ranks int
 }
 
 func (c Config) withDefaults(defaultN int) Config {

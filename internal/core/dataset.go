@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chunk"
@@ -75,9 +76,26 @@ type Dataset struct {
 	// coverage). Guarded by ds.mu.
 	integrity IntegrityInfo
 
+	// scope is a process-unique handle identity assigned at Create/Open,
+	// used to namespace shared (node-level) dataloader caches: datasets
+	// have no UUID, so two handles are assumed distinct unless they are
+	// literally the same handle. Immutable after construction.
+	scope uint64
+
 	// now supplies timestamps; replaceable in tests.
 	now func() time.Time
 }
+
+// scopeCounter hands out process-unique dataset scope ids; see
+// Dataset.scope.
+var scopeCounter atomic.Uint64
+
+// ScopeID returns the process-unique identity of this dataset handle.
+// Shared caches keyed across datasets (the dataloader's node cache) include
+// it so chunks from different handles can never alias: the id is unique per
+// handle, so two Opens of the same store are treated as distinct datasets —
+// conservative (they won't share decoded chunks) but never wrong.
+func (ds *Dataset) ScopeID() uint64 { return ds.scope }
 
 // SetStrict toggles strict index checking for in-place assignment.
 func (ds *Dataset) SetStrict(strict bool) {
@@ -107,6 +125,7 @@ func Create(ctx context.Context, store storage.Provider, name string) (*Dataset,
 		branch:  version.DefaultBranch,
 		tensors: map[string]*Tensor{},
 		now:     func() time.Time { return time.Now().UTC() },
+		scope:   scopeCounter.Add(1),
 	}
 	headNode, err := ds.tree.Head(ds.branch)
 	if err != nil {
@@ -131,6 +150,7 @@ func Open(ctx context.Context, store storage.Provider) (*Dataset, error) {
 		store:   store,
 		tensors: map[string]*Tensor{},
 		now:     func() time.Time { return time.Now().UTC() },
+		scope:   scopeCounter.Add(1),
 	}
 	raw, err := store.Get(ctx, datasetMetaKey)
 	if err != nil {

@@ -268,6 +268,27 @@ func (t *Tensor) resolveChunkVersionsWith(ctx context.Context, headChunks []uint
 // Name returns the tensor name.
 func (t *Tensor) Name() string { return t.name }
 
+// ChunkIdentity returns the storage object key of a chunk —
+// versions/<vid>/tensors/<name>/chunks/<id> — which is the chunk's
+// commit-scoped identity: vid is the version directory that owns the bytes,
+// so the same chunk id on two branches (NextChunkID rides versioned meta
+// and can collide across them) yields two distinct identities, and a
+// checkout that rebinds the id to another version's bytes changes the
+// identity with it. Shared decoded-chunk caches use this (plus the
+// dataset's ScopeID) as their key. A chunk not yet resolved to a version —
+// a pending chunk still in the writer — is attributed to the current head.
+func (t *Tensor) ChunkIdentity(chunkID uint64) string {
+	t.ds.mu.RLock()
+	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	vid, ok := t.chunkVersion[chunkID]
+	if !ok {
+		vid = t.ds.head
+	}
+	return chunkKey(vid, t.name, chunkID)
+}
+
 // Meta returns a copy of the tensor metadata.
 func (t *Tensor) Meta() TensorMeta {
 	t.ds.mu.RLock()

@@ -5,38 +5,85 @@ import (
 	"context"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/storage"
 )
 
-// chunkCache is the loader's buffer of fetched-but-not-yet-consumed chunk
-// data (§3.5: "maintaining a buffer cache of fetched and unutilized data").
-// A singleflight layer (shared with the storage cache, storage.Flight)
-// deduplicates concurrent fetches of the same chunk — so however many
-// workers need samples from one chunk, it is read and decoded exactly once —
-// and least-recently-used chunks are evicted once the byte budget is
-// exceeded.
-type chunkCache struct {
-	budget int64
+// NodeCache is the decoded-chunk buffer of §3.5 ("maintaining a buffer
+// cache of fetched and unutilized data") promoted to node scope: one cache
+// that any number of Loaders — including the per-rank loaders of a
+// multi-rank training job colocated on one node — share through
+// Options.Cache, so a chunk needed by several ranks is fetched and decoded
+// exactly once per epoch per NODE, not once per rank. Loaders that are not
+// given a shared cache get a private one, which degrades to exactly the old
+// per-Loader behavior.
+//
+// The concurrency story is the same as storage.LRU's byte cache: the entry
+// table is split across mutex-striped shards keyed by an FNV-1a hash of the
+// chunk identity, and a singleflight layer collapses concurrent fetches of
+// one chunk — across workers, the readahead scheduler, and every sharing
+// Loader — into a single fetch+decode that everyone receives.
+//
+// Entries are keyed by (dataset scope, commit-scoped chunk object key):
+// core.Dataset.ScopeID disambiguates dataset handles (two datasets sharing
+// a node cache can never serve each other's bytes even if their tensor
+// names and chunk ids collide), and core.Tensor.ChunkIdentity bakes in the
+// owning version directory, so the same chunk id on two branches — or
+// rebound across a checkout — is two distinct cache entries.
+//
+// Eviction is least-recently-used over a byte budget, with one contract on
+// top: chunks with outstanding planned jobs are pinned and never evicted,
+// so a tight budget cannot evict a chunk between its decode and a
+// planned-but-unstarted job that needs it (which would force a silent
+// re-decode, breaking the documented fetch+decode-once contract). Pins are
+// reference counts — one per outstanding sub-job — taken by the job feeder
+// before a job is enqueued and dropped when the worker finishes it; a
+// Loader releases any leftovers when its pipeline shuts down, so an aborted
+// epoch never leaks pins into a long-lived shared cache. The budget is soft
+// against pins: if every resident chunk is pinned the cache runs over
+// budget rather than breaking the contract (bounded by
+// workers×queue-depth×chunk-size, the same working set the pipeline needs
+// resident anyway).
+type NodeCache struct {
 	flight storage.Flight[[]chunk.Sample]
+	shards []*cacheShard
 
-	mu      sync.Mutex
-	entries map[cacheKey]*list.Element
-	order   *list.List // front = most recently used
-	used    int64
+	hits, misses, coalesced, decodes, evictions atomic.Int64
+}
 
-	hits, misses, coalesced, decodes int64
+// NodeCacheStats is a point-in-time copy of a NodeCache's node-level
+// counters, aggregated across every Loader sharing the cache.
+type NodeCacheStats struct {
+	// Hits and Misses count lookups against resident decoded chunks.
+	Hits, Misses int64
+	// Coalesced counts gets that piggybacked on another caller's in-flight
+	// fetch+decode (singleflight) instead of running their own.
+	Coalesced int64
+	// Decodes counts fetch+decodes that actually reached the tensor read
+	// path; the per-node decode-once contract bounds it by the distinct
+	// chunks visited per epoch, no matter how many Loaders share the cache.
+	Decodes int64
+	// Evictions counts entries dropped to stay under the byte budget.
+	Evictions int64
+	// UsedBytes/Entries describe the resident population; Pinned counts
+	// entries currently protected by outstanding planned jobs.
+	UsedBytes, Entries, Pinned int64
 }
 
 type cacheKey struct {
-	tensor  string
-	chunkID uint64
+	// scope is the owning dataset handle's process-unique identity
+	// (core.Dataset.ScopeID).
+	scope uint64
+	// obj is the commit-scoped chunk object key
+	// (core.Tensor.ChunkIdentity): versions/<vid>/tensors/<name>/chunks/<id>.
+	obj string
 }
 
 func (k cacheKey) flightKey() string {
-	return k.tensor + "\x00" + strconv.FormatUint(k.chunkID, 10)
+	return strconv.FormatUint(k.scope, 36) + "\x00" + k.obj
 }
 
 type cacheEntry struct {
@@ -45,102 +92,267 @@ type cacheEntry struct {
 	bytes   int64
 }
 
-func newChunkCache(budget int64) *chunkCache {
-	return &chunkCache{
-		budget:  budget,
-		entries: map[cacheKey]*list.Element{},
-		order:   list.New(),
-	}
+// cacheShard is one mutex stripe of the entry table.
+type cacheShard struct {
+	budget int64
+
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+	used    int64
+	// pins maps keys to their outstanding-job reference count. A pin may
+	// exist before its entry does (the feeder pins at enqueue time, the
+	// decode lands later) and survives the entry's eviction window: pinned
+	// entries are skipped by eviction.
+	pins map[cacheKey]int
 }
 
-// get returns the samples of one chunk, fetching and decoding through t once
-// per chunk regardless of how many workers ask concurrently.
-func (c *chunkCache) get(ctx context.Context, t *core.Tensor, chunkID uint64) ([]chunk.Sample, error) {
-	key := cacheKey{tensor: t.Name(), chunkID: chunkID}
-	if samples, ok := c.lookup(key, true); ok {
+// nodeCacheShardCount sizes the stripe count like storage.NewLRU does: one
+// shard per 32MB of budget (decoded chunks are a few to ~16MB, so a shard
+// always fits several), at most 16.
+func nodeCacheShardCount(budget int64) int {
+	shards := int(budget / (32 << 20))
+	if shards < 1 {
+		return 1
+	}
+	if shards > 16 {
+		return 16
+	}
+	return shards
+}
+
+// NewNodeCache builds a node-level decoded-chunk cache with the given byte
+// budget (<=0 means the Loader default, 256MB). Hand the same cache to
+// every Loader on the node via Options.Cache.
+func NewNodeCache(budget int64) *NodeCache {
+	if budget <= 0 {
+		budget = 256 << 20
+	}
+	shards := nodeCacheShardCount(budget)
+	c := &NodeCache{shards: make([]*cacheShard, shards)}
+	per, rem := budget/int64(shards), budget%int64(shards)
+	for i := range c.shards {
+		b := per
+		if int64(i) < rem {
+			b++
+		}
+		c.shards[i] = &cacheShard{
+			budget:  b,
+			entries: map[cacheKey]*list.Element{},
+			order:   list.New(),
+			pins:    map[cacheKey]int{},
+		}
+	}
+	return c
+}
+
+// shard maps a key to its stripe by FNV-1a hash of the object key (the
+// scope is folded in as well so distinct datasets spread independently).
+func (c *NodeCache) shard(key cacheKey) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= key.scope
+	h *= prime64
+	for i := 0; i < len(key.obj); i++ {
+		h ^= uint64(key.obj[i])
+		h *= prime64
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// cacheLedger is one Loader's private view of the shared cache's activity:
+// every counter increment lands both here and on the node-level NodeCache
+// counters. Decodes and coalesces are attributed to the Loader whose call
+// ran (or joined) the fetch, so summing a counter across the sharing
+// Loaders equals the node-level figure.
+type cacheLedger struct {
+	hits, misses, coalesced, decodes atomic.Int64
+}
+
+// get returns the samples of one chunk, fetching and decoding through t
+// once per chunk per node regardless of how many workers — of how many
+// Loaders — ask concurrently. led receives the calling Loader's share of
+// the counters.
+func (c *NodeCache) get(ctx context.Context, led *cacheLedger, scope uint64, t *core.Tensor, chunkID uint64) ([]chunk.Sample, error) {
+	key := cacheKey{scope: scope, obj: t.ChunkIdentity(chunkID)}
+	if samples, ok := c.lookup(key, led); ok {
 		return samples, nil
 	}
 	samples, coalesced, err := c.flight.GetCoalesced(ctx, key.flightKey(),
-		func() ([]chunk.Sample, bool) { return c.lookup(key, false) },
+		func() ([]chunk.Sample, bool) { return c.peek(key) },
 		func() ([]chunk.Sample, error) {
 			samples, err := t.ReadChunkSamples(ctx, chunkID)
 			if err != nil {
 				return nil, err
 			}
-			c.mu.Lock()
-			c.decodes++
-			c.mu.Unlock()
+			c.decodes.Add(1)
+			led.decodes.Add(1)
 			c.admit(key, samples)
 			return samples, nil
 		})
 	if coalesced {
-		c.mu.Lock()
-		c.coalesced++
-		c.mu.Unlock()
+		c.coalesced.Add(1)
+		led.coalesced.Add(1)
 	}
 	return samples, err
 }
 
-// lookup probes the cache; count controls whether the hit/miss ledger is
-// updated (the singleflight leader's re-check is not a new lookup).
-func (c *chunkCache) lookup(key cacheKey, count bool) ([]chunk.Sample, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+// lookup probes the cache and updates the hit/miss ledgers.
+func (c *NodeCache) lookup(key cacheKey, led *cacheLedger) ([]chunk.Sample, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
 	if !ok {
-		if count {
-			c.misses++
-		}
+		c.misses.Add(1)
+		led.misses.Add(1)
 		return nil, false
 	}
-	if count {
-		c.hits++
-	}
-	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	led.hits.Add(1)
+	s.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).samples, true
 }
 
-func (c *chunkCache) admit(key cacheKey, samples []chunk.Sample) {
+// peek is the singleflight leader's re-check: same probe, no ledger churn
+// (it is not a new lookup).
+func (c *NodeCache) peek(key cacheKey) ([]chunk.Sample, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).samples, true
+}
+
+func (c *NodeCache) admit(key cacheKey, samples []chunk.Sample) {
 	var bytes int64
 	for _, s := range samples {
 		bytes += int64(len(s.Data))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, samples: samples, bytes: bytes})
-	c.used += bytes
-	for c.used > c.budget && c.order.Len() > 1 {
-		back := c.order.Back()
-		ent := back.Value.(*cacheEntry)
-		c.order.Remove(back)
-		delete(c.entries, ent.key)
-		c.used -= ent.bytes
+	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, samples: samples, bytes: bytes})
+	s.used += bytes
+	// Evict least-recently-used UNPINNED entries. The just-admitted entry
+	// (front) is never evicted, pinned entries are skipped, and when
+	// nothing evictable remains the shard runs soft-over-budget rather
+	// than breaking the decode-once contract.
+	for s.used > s.budget && s.order.Len() > 1 {
+		el := s.order.Back()
+		for el != nil && el != s.order.Front() && s.pins[el.Value.(*cacheEntry).key] > 0 {
+			el = el.Prev()
+		}
+		if el == nil || el == s.order.Front() {
+			return
+		}
+		ent := el.Value.(*cacheEntry)
+		s.order.Remove(el)
+		delete(s.entries, ent.key)
+		s.used -= ent.bytes
+		c.evictions.Add(1)
 	}
 }
 
-// stats reports cache hits and misses.
-func (c *chunkCache) stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+// pin protects key from eviction until a matching unpin; calls nest as a
+// reference count, one per outstanding planned job. Pinning a key with no
+// resident entry is valid (and the common case): the feeder pins at plan
+// time, before the decode lands.
+func (c *NodeCache) pin(key cacheKey) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.pins[key]++
+	s.mu.Unlock()
 }
 
-// coalescedCount reports how many gets piggybacked on another worker's
-// in-flight fetch instead of reading the chunk themselves.
-func (c *chunkCache) coalescedCount() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.coalesced
+// unpin drops one pin reference of key.
+func (c *NodeCache) unpin(key cacheKey) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if n := s.pins[key]; n > 1 {
+		s.pins[key] = n - 1
+	} else {
+		delete(s.pins, key)
+	}
+	s.mu.Unlock()
 }
 
-// decodeCount reports how many chunk fetch+decodes actually ran; the
-// decode-once contract bounds it by the distinct (tensor, chunk) pairs
-// visited per epoch.
-func (c *chunkCache) decodeCount() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.decodes
+// Stats reports the cache's node-level counters.
+func (c *NodeCache) Stats() NodeCacheStats {
+	st := NodeCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Decodes:   c.decodes.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.UsedBytes += s.used
+		st.Entries += int64(len(s.entries))
+		st.Pinned += int64(len(s.pins))
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// pinLedger tracks the pins one Loader currently holds on a (possibly
+// shared) NodeCache, so whatever the pipeline leaves outstanding when it
+// shuts down — jobs enqueued but never consumed after a cancellation, a
+// worker that died mid-job — is released in one sweep instead of leaking
+// into a cache that outlives the Loader.
+type pinLedger struct {
+	mu   sync.Mutex
+	held map[cacheKey]int
+}
+
+func (p *pinLedger) pin(c *NodeCache, key cacheKey) {
+	p.mu.Lock()
+	if p.held == nil {
+		p.held = map[cacheKey]int{}
+	}
+	p.held[key]++
+	p.mu.Unlock()
+	c.pin(key)
+}
+
+func (p *pinLedger) unpin(c *NodeCache, key cacheKey) {
+	p.mu.Lock()
+	if n, ok := p.held[key]; ok {
+		if n > 1 {
+			p.held[key] = n - 1
+		} else {
+			delete(p.held, key)
+		}
+		p.mu.Unlock()
+		c.unpin(key)
+		return
+	}
+	// Not held: the pipeline already swept this Loader's pins (releaseAll
+	// racing a worker's final unpin); dropping it again would strip
+	// another Loader's protection.
+	p.mu.Unlock()
+}
+
+// releaseAll drops every pin the Loader still holds.
+func (p *pinLedger) releaseAll(c *NodeCache) {
+	p.mu.Lock()
+	held := p.held
+	p.held = nil
+	p.mu.Unlock()
+	for key, n := range held {
+		for i := 0; i < n; i++ {
+			c.unpin(key)
+		}
+	}
 }

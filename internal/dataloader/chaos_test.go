@@ -166,6 +166,75 @@ func TestLoaderCancelDuringBackoffStopsPromptly(t *testing.T) {
 	}
 }
 
+// TestLoaderWarmRestartsFromDiskTier is the disk-tier chaos scenario: a
+// training job killed mid-epoch leaves its local-disk tier populated; a
+// fresh process over the same directory must start warm — serving restart
+// reads from the surviving files instead of the origin — and still deliver
+// a batch stream byte-identical to a never-killed run.
+func TestLoaderWarmRestartsFromDiskTier(t *testing.T) {
+	const rows = 256
+	ctx := context.Background()
+	mem := storage.NewMemory()
+	ds := loaderDataset(t, mem, rows)
+	opts := Options{BatchSize: 8, Workers: 4, Shuffle: true, Seed: 11}
+
+	// Fault-free reference epoch straight off the origin.
+	refHash, refN, rl := epochHash(t, ds, opts)
+	if err := rl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if refN != rows {
+		t.Fatalf("reference epoch delivered %d/%d", refN, rows)
+	}
+
+	// Run 1: stream through RAM -> disk tier -> origin, killed mid-epoch.
+	dir := t.TempDir()
+	counting := storage.NewCounting(mem)
+	openTier := func() (*core.Dataset, *storage.Disk) {
+		t.Helper()
+		disk, err := storage.NewDisk(counting, dir, storage.DiskOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tds, err := core.Open(ctx, storage.NewLRU(disk, 1<<30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tds, disk
+	}
+	tds1, _ := openTier()
+	killCtx, kill := context.WithCancel(ctx)
+	defer kill()
+	l1 := ForDataset(tds1, opts)
+	batches := 0
+	for range l1.Batches(killCtx) {
+		if batches++; batches == 4 {
+			kill() // the simulated job kill, mid-epoch
+		}
+	}
+	if batches >= rows/opts.BatchSize {
+		t.Fatalf("kill landed after the full epoch (%d batches); mid-epoch restart untested", batches)
+	}
+
+	// Run 2: a fresh process over the same directory. The restart must be
+	// warm — some reads served by files the killed run left behind — and
+	// the delivered stream must match the never-killed reference exactly.
+	tds2, disk2 := openTier()
+	hash, n, l2 := epochHash(t, tds2, opts)
+	if err := l2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("restarted epoch delivered %d/%d rows", n, rows)
+	}
+	if hash != refHash {
+		t.Fatal("restarted batch stream differs from the never-killed epoch")
+	}
+	if st := disk2.Stats(); st.WarmHits == 0 {
+		t.Fatalf("restart over a populated disk tier served no warm hits: %+v", st)
+	}
+}
+
 // TestLoaderSurfacesWorkerDeath: a worker goroutine killed mid-epoch (user
 // code calling runtime.Goexit — the Go analogue of a dataloader worker
 // process dying) must not truncate the stream silently. The contract is the

@@ -109,6 +109,15 @@ type Options struct {
 	// (derived from Seed and the epoch number), and batches never straddle
 	// an epoch boundary.
 	Epochs int
+	// Cache shares a node-level decoded-chunk cache between Loaders: hand
+	// the same NodeCache to every Loader (every rank) colocated on one
+	// node and each shared chunk is fetched+decoded once per node instead
+	// of once per rank (§3.5 buffer promoted to node scope; ROADMAP item
+	// 4). Keys carry dataset and commit identity, so Loaders over
+	// different datasets or commits can share one cache safely. Nil keeps
+	// a private per-Loader cache sized by MemoryBudget; when Cache is set
+	// the shared cache's own budget governs and MemoryBudget is ignored.
+	Cache *NodeCache
 }
 
 func (o Options) withDefaults() Options {
@@ -161,7 +170,14 @@ type Batch struct {
 type Loader struct {
 	v     *view.View
 	opts  Options
-	cache *chunkCache
+	cache *NodeCache
+	// scope is the owning dataset handle's identity, part of every cache
+	// key so Loaders sharing a NodeCache across datasets never alias.
+	scope uint64
+	// led is this Loader's share of the (possibly shared) cache counters;
+	// pins tracks the eviction pins its pipeline currently holds.
+	led  cacheLedger
+	pins pinLedger
 
 	err  atomic.Value // error
 	rows int64        // rows delivered (stats)
@@ -170,7 +186,21 @@ type Loader struct {
 // New builds a loader over a view.
 func New(v *view.View, opts Options) *Loader {
 	opts = opts.withDefaults()
-	return &Loader{v: v, opts: opts, cache: newChunkCache(opts.MemoryBudget)}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewNodeCache(opts.MemoryBudget)
+	}
+	return &Loader{v: v, opts: opts, cache: cache, scope: v.Dataset().ScopeID()}
+}
+
+// Cache returns the node cache this Loader reads through — the shared one
+// handed in via Options.Cache, or its private default.
+func (l *Loader) Cache() *NodeCache { return l.cache }
+
+// cacheGet reads one chunk's samples through the node cache, attributing
+// ledger counters to this Loader.
+func (l *Loader) cacheGet(ctx context.Context, t *core.Tensor, chunkID uint64) ([]chunk.Sample, error) {
+	return l.cache.get(ctx, &l.led, l.scope, t, chunkID)
 }
 
 // ForDataset is a convenience wrapper over the identity view.
@@ -193,17 +223,24 @@ func (l *Loader) Err() error {
 // Rows reports how many samples have been delivered.
 func (l *Loader) Rows() int64 { return atomic.LoadInt64(&l.rows) }
 
-// CacheStats reports chunk buffer cache hits and misses.
-func (l *Loader) CacheStats() (hits, misses int64) { return l.cache.stats() }
+// CacheStats reports this Loader's chunk buffer cache hits and misses. On
+// a shared NodeCache the figures are per-Loader shares; NodeCache.Stats
+// has the node-level aggregate.
+func (l *Loader) CacheStats() (hits, misses int64) {
+	return l.led.hits.Load(), l.led.misses.Load()
+}
 
-// CacheCoalesced reports how many chunk fetches were absorbed into another
-// in-flight fetch of the same chunk (workers or the readahead scheduler).
-func (l *Loader) CacheCoalesced() int64 { return l.cache.coalescedCount() }
+// CacheCoalesced reports how many of this Loader's chunk fetches were
+// absorbed into another in-flight fetch of the same chunk (workers, the
+// readahead scheduler, or — on a shared cache — another Loader entirely).
+func (l *Loader) CacheCoalesced() int64 { return l.led.coalesced.Load() }
 
-// CacheDecodes reports how many chunk fetch+decodes actually reached the
-// tensor read path. The chunk-decode-once contract bounds this by the
-// number of distinct (tensor, chunk) pairs visited per epoch.
-func (l *Loader) CacheDecodes() int64 { return l.cache.decodeCount() }
+// CacheDecodes reports how many chunk fetch+decodes this Loader actually
+// ran (a decode joined by several Loaders is attributed to the one whose
+// call ran it). The chunk-decode-once contract bounds the SUM across all
+// Loaders sharing a NodeCache by the distinct (tensor, chunk) pairs
+// visited per epoch — per node, not per rank.
+func (l *Loader) CacheDecodes() int64 { return l.led.decodes.Load() }
 
 // columns resolves the output column subset.
 func (l *Loader) columns() ([]view.Column, error) {
@@ -354,7 +391,7 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 				prog.stop()
 			}()
 			raReady = make(chan struct{})
-			go runReadahead(ctx, l.cache, l.v, t, secondaries, groups, l.opts, prog, l.opts.Readahead, raReady)
+			go runReadahead(ctx, l, t, secondaries, groups, l.opts, prog, l.opts.Readahead, raReady)
 		}
 	}
 
@@ -363,7 +400,19 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 	// first job waits for the readahead scheduler's opening fetch strip, so
 	// the workers' first misses coalesce onto the strip's batched origin
 	// requests instead of racing them with one-chunk round trips.
+	//
+	// Each job's primary chunk is pinned in the node cache before the job
+	// is enqueued and unpinned by the worker that finishes it, so a tight
+	// MemoryBudget can never evict a decoded chunk that a
+	// planned-but-unstarted job still needs (the silent re-decode that
+	// would break the fetch+decode-once contract). The feeder joins the
+	// worker WaitGroup so the pipeline's pin sweep (releaseAll below) runs
+	// strictly after the last pin is taken.
+	primaryTensor := l.v.Dataset().Tensor(primary)
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		defer close(jobs)
 		if raReady != nil {
 			select {
@@ -379,6 +428,11 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 				cj.ord += ordBase[e]
 				for ri := range cj.rows {
 					cj.rows[ri].seq += seqBase
+				}
+				if primaryTensor != nil && cj.chunkID != noChunk {
+					cj.pin = cacheKey{scope: l.scope, obj: primaryTensor.ChunkIdentity(cj.chunkID)}
+					cj.pinned = true
+					l.pins.pin(l.cache, cj.pin)
 				}
 				select {
 				case jobs <- cj:
@@ -407,7 +461,6 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 			spawn = c
 		}
 	}
-	var wg sync.WaitGroup
 	for w := 0; w < spawn; w++ {
 		wg.Add(1)
 		go func() {
@@ -450,12 +503,23 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 						return
 					}
 				}
+				// Job done: its chunk no longer needs eviction protection
+				// from this job. Early-return paths above leave the pin to
+				// the pipeline sweep below.
+				if cj.pinned {
+					l.pins.unpin(l.cache, cj.pin)
+				}
 			}
 			exited = true
 		}()
 	}
 	go func() {
 		wg.Wait()
+		// Pipeline over (feeder and workers both done): drop whatever pins
+		// are still held — jobs stranded in the channel by a cancellation,
+		// jobs a dying worker never finished — so an aborted epoch cannot
+		// leak pinned entries into a shared, long-lived cache.
+		l.pins.releaseAll(l.cache)
 		close(results)
 	}()
 
@@ -563,7 +627,7 @@ func (w *rowLoader) reader(t *core.Tensor) *core.ScanReader {
 	r, ok := w.readers[t.Name()]
 	if !ok {
 		r = t.NewScanReaderWith(func(ctx context.Context, chunkID uint64) ([]chunk.Sample, error) {
-			return w.l.cache.get(ctx, t, chunkID)
+			return w.l.cacheGet(ctx, t, chunkID)
 		})
 		r.SetArena(w.arena)
 		w.readers[t.Name()] = r

@@ -100,7 +100,8 @@ func (p *raProgress) stop() {
 // aligned with the worker frontier. Fetch errors are ignored here: the
 // worker that needs the chunk will hit the same error on its own read path
 // and report it with row context.
-func runReadahead(ctx context.Context, cache *chunkCache, v *view.View, t *core.Tensor, secondaries []*core.Tensor, groups []groupRef, o Options, prog *raProgress, k int, ready chan<- struct{}) {
+func runReadahead(ctx context.Context, l *Loader, t *core.Tensor, secondaries []*core.Tensor, groups []groupRef, o Options, prog *raProgress, k int, ready chan<- struct{}) {
+	v := l.v
 	// ready gates the job feeder: it is closed once the first fetch strip has
 	// been issued (and landed), so the workers' first cache misses find the
 	// strip's chunks already cached or in flight instead of racing the
@@ -113,6 +114,32 @@ func runReadahead(ctx context.Context, cache *chunkCache, v *view.View, t *core.
 		}
 	}
 	defer release()
+	// Chunks the scheduler decodes are ahead of the feeder's per-job pins
+	// (the opening strip lands before any job is enqueued at all), so the
+	// scheduler holds its own pin on every chunk in the lookahead window and
+	// drops it once the worker frontier passes the chunk's ordinal — by
+	// which point the job that needs it has been enqueued and carries the
+	// feeder's pin. Without this, a tight budget evicts each prefetched
+	// chunk before its job runs and every chunk decodes twice. Pins route
+	// through l.pins so the pipeline's shutdown sweep reclaims whatever an
+	// aborted walk leaves held.
+	type raPin struct {
+		ord int
+		key cacheKey
+	}
+	var held []raPin
+	releasePast := func(frontier int) {
+		i := 0
+		for ; i < len(held) && held[i].ord <= frontier; i++ {
+			l.pins.unpin(l.cache, held[i].key)
+		}
+		held = held[i:]
+	}
+	defer func() {
+		for _, h := range held {
+			l.pins.unpin(l.cache, h.key)
+		}
+	}()
 	ord := 0
 	for e := 0; e < o.Epochs; e++ {
 		shard := buildShard(groups, o, e)
@@ -123,6 +150,7 @@ func runReadahead(ctx context.Context, cache *chunkCache, v *view.View, t *core.
 			if !prog.waitUntil(ord-k) || ctx.Err() != nil {
 				return
 			}
+			releasePast(prog.current())
 			// Strip prefetch: hand the next FetchBatch upcoming chunks to
 			// the tensor's storage prefetcher as one coalesced fetch plan —
 			// near-adjacent chunk objects ride one batched ranged origin
@@ -170,7 +198,10 @@ func runReadahead(ctx context.Context, cache *chunkCache, v *view.View, t *core.
 			// waste origin bandwidth and evict entries workers still
 			// hold hot.
 			if g.chunk && ord > prog.current() {
-				_, _ = cache.get(ctx, t, g.key)
+				key := cacheKey{scope: l.scope, obj: t.ChunkIdentity(g.key)}
+				l.pins.pin(l.cache, key)
+				held = append(held, raPin{ord: ord, key: key})
+				_, _ = l.cacheGet(ctx, t, g.key)
 			}
 			ord++
 		}

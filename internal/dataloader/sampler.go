@@ -55,6 +55,11 @@ type chunkJob struct {
 	ord     int
 	chunkID uint64
 	rows    []rowJob
+	// pin is the node-cache key the feeder pinned on behalf of this job
+	// (valid when pinned is true); the worker that finishes the job drops
+	// it. Sub-jobs of one split group each carry their own pin reference.
+	pin    cacheKey
+	pinned bool
 }
 
 // epochShard is one epoch's shuffled, rank-sharded chunk visit order —

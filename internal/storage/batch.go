@@ -403,7 +403,7 @@ func (l *LRU) prefetchExec(ctx context.Context, reqs []RangeReq, finishes []func
 			// larger wire buffer shared with sibling parts.
 			cp := make([]byte, len(data))
 			copy(cp, data)
-			l.shard(reqs[i].Key).admit(reqs[i].Key, cp)
+			l.admit(reqs[i].Key, cp)
 			finishes[i](cp, nil)
 			fetched++
 			continue

@@ -75,9 +75,16 @@ func (f *FS) GetRange(ctx context.Context, key string, offset, length int64) ([]
 	return out, nil
 }
 
-// Put implements Provider. The write is atomic: data lands in a temp file
-// that is renamed over the destination, so concurrent readers never observe
-// a torn object.
+// Put implements Provider. The write is atomic AND durable: data lands in a
+// temp file that is fsynced, renamed over the destination, and sealed with
+// an fsync of the parent directory — so concurrent readers never observe a
+// torn object, and a power cut after Put returns cannot roll the rename
+// back or resurface a half-written file. The directory fsync is what makes
+// the rename a real publish point: without it the staged-root commit
+// protocol's "atomic publish" (core.persistRoot) could tear on crash, with
+// dataset.json pointing at a generation whose rename never hit the disk.
+// Every failure path removes the temp file, so no .tmp-* residue outlives a
+// failed Put.
 func (f *FS) Put(ctx context.Context, key string, data []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -91,16 +98,39 @@ func (f *FS) Put(ctx context.Context, key string, data []byte) error {
 		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
+	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
-	return os.Rename(tmpName, dst)
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(filepath.Dir(dst))
+}
+
+// syncDir fsyncs a directory so a completed rename inside it survives a
+// power cut. Filesystems that refuse to fsync directories (some network
+// mounts) degrade to the pre-fsync behavior rather than failing the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
 }
 
 // Delete implements Provider.

@@ -49,6 +49,7 @@ type LRU struct {
 
 	coalesced  atomic.Int64
 	prefetched atomic.Int64
+	bypassed   atomic.Int64
 }
 
 type lruShard struct {
@@ -75,22 +76,29 @@ func NewLRU(origin Provider, capacity int64) *LRU {
 }
 
 // NewShardedLRU wraps origin with an in-memory cache of the given byte
-// capacity split evenly across the given number of mutex-striped shards. A
+// capacity split across the given number of mutex-striped shards — evenly,
+// with the division remainder spread one byte at a time over the leading
+// shards, so no fraction of the configured budget is silently lost. A
 // single shard
 // gives globally exact LRU ordering (useful for deterministic tests); more
 // shards trade eviction precision for lookup concurrency. Note that an
-// object larger than one shard's budget (capacity/shards) bypasses the
-// cache entirely — callers choosing an explicit shard count are expected to
-// size shards for their objects, or use NewLRU which does so automatically.
+// object larger than one shard's budget bypasses the cache entirely — the
+// bypass is counted in Stats.Bypassed, and callers choosing an explicit
+// shard count are expected to size shards for their objects, or use NewLRU
+// which does so automatically.
 func NewShardedLRU(origin Provider, capacity int64, shards int) *LRU {
 	if shards < 1 {
 		shards = 1
 	}
 	l := &LRU{origin: origin, shards: make([]*lruShard, shards)}
-	per := capacity / int64(shards)
+	per, rem := capacity/int64(shards), capacity%int64(shards)
 	for i := range l.shards {
+		cap := per
+		if int64(i) < rem {
+			cap++
+		}
 		l.shards[i] = &lruShard{
-			capacity: per,
+			capacity: cap,
 			order:    list.New(),
 			items:    make(map[string]*list.Element),
 		}
@@ -144,6 +152,11 @@ type Stats struct {
 	// Prefetched counts objects admitted by coalesced batch prefetches
 	// (Prefetch) rather than on-demand misses.
 	Prefetched int64
+	// Bypassed counts objects that could not be cached because they were
+	// larger than one shard's byte budget — the signal that the shard
+	// count is too high (or the capacity too low) for the object sizes
+	// flowing through the chain.
+	Bypassed int64
 	// UsedBytes is the total resident payload size.
 	UsedBytes int64
 	// Origin is the per-op-class origin request ledger gathered from the
@@ -162,6 +175,10 @@ type Stats struct {
 	// digest mismatches observed, mismatches resolved by a self-healing
 	// re-fetch, and keys quarantined after repeated mismatches.
 	CorruptionsDetected, CorruptionsRepaired, Quarantined int64
+	// Disk aggregates the local-disk tier's counters when a Disk layer
+	// sits below this cache in the provider chain (§3.6 RAM → disk →
+	// origin); the zero value when none is stacked.
+	Disk DiskStats
 	// Shards is the per-shard breakdown, indexed by shard number.
 	Shards []ShardStats
 }
@@ -172,6 +189,7 @@ func (l *LRU) Stats() Stats {
 	s := Stats{
 		Coalesced:  l.coalesced.Load(),
 		Prefetched: l.prefetched.Load(),
+		Bypassed:   l.bypassed.Load(),
 		Shards:     make([]ShardStats, len(l.shards)),
 	}
 	for i, sh := range l.shards {
@@ -195,6 +213,16 @@ func (l *LRU) Stats() Stats {
 			s.CorruptionsDetected += vs.Detected
 			s.CorruptionsRepaired += vs.Repaired
 			s.Quarantined += vs.Quarantined
+		case *Disk:
+			ds := v.Stats()
+			s.Disk.Hits += ds.Hits
+			s.Disk.WarmHits += ds.WarmHits
+			s.Disk.Misses += ds.Misses
+			s.Disk.Evictions += ds.Evictions
+			s.Disk.Bypassed += ds.Bypassed
+			s.Disk.CorruptionsDetected += ds.CorruptionsDetected
+			s.Disk.UsedBytes += ds.UsedBytes
+			s.Disk.Entries += ds.Entries
 		case *Counting:
 			if !sawCounting {
 				s.Origin = v.Snapshot()
@@ -237,9 +265,11 @@ func (s *lruShard) peek(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).data, true
 }
 
-func (s *lruShard) admit(key string, data []byte) {
+// admit inserts (or refreshes) key and reports whether the object was
+// actually cached; an object larger than the whole shard is rejected.
+func (s *lruShard) admit(key string, data []byte) bool {
 	if int64(len(data)) > s.capacity {
-		return // object larger than the whole shard
+		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -260,6 +290,17 @@ func (s *lruShard) admit(key string, data []byte) {
 		s.order.Remove(back)
 		delete(s.items, ent.key)
 		s.used -= int64(len(ent.data))
+	}
+	return true
+}
+
+// admit routes an object to its shard and counts the silent-bypass case —
+// an object larger than one shard's budget that the cache cannot hold —
+// so undersized shard configurations are visible in Stats.Bypassed instead
+// of masquerading as a stream of misses.
+func (l *LRU) admit(key string, data []byte) {
+	if !l.shard(key).admit(key, data) {
+		l.bypassed.Add(1)
 	}
 }
 
@@ -292,7 +333,7 @@ func (l *LRU) Get(ctx context.Context, key string) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		sh.admit(key, data)
+		l.admit(key, data)
 		return data, nil
 	}
 	data, coalesced, err := l.flight.GetCoalesced(ctx, key,
@@ -336,7 +377,7 @@ func (l *LRU) Put(ctx context.Context, key string, data []byte) error {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	l.shard(key).admit(key, cp)
+	l.admit(key, cp)
 	return nil
 }
 

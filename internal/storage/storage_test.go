@@ -22,6 +22,10 @@ func providers(t *testing.T) map[string]Provider {
 	}
 	fast := simnet.Profile{Name: "fast", Lanes: 16, TimeScale: 1e9,
 		ReadBytesPerSec: 1e12, WriteBytesPerSec: 1e12}
+	disk, err := NewDisk(NewMemory(), t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Provider{
 		"memory": NewMemory(),
 		"fs":     fsp,
@@ -29,6 +33,7 @@ func providers(t *testing.T) map[string]Provider {
 		"lru":    NewLRU(NewMemory(), 1<<20),
 		"prefix": NewPrefix(NewMemory(), "sub/dir"),
 		"count":  NewCounting(NewMemory()),
+		"disk":   disk,
 	}
 }
 

@@ -332,28 +332,37 @@ func (v *Verify) Size(ctx context.Context, key string) (int64, error) {
 }
 
 // SeedDigests walks the provider chain from p and registers the given
-// digests with the first Verify layer it finds, returning how many were
-// seeded (zero when the chain has no Verify layer — integrity verification
-// is optional). The walk stops at a Prefix wrapper, whose key rewriting
-// would invalidate the digest keys.
+// digests with every Verify and Disk layer it finds, returning how many
+// were seeded (zero when the chain has neither layer — integrity
+// verification is optional). Disk tiers need the digests too: their
+// warm-start population was written by a previous process, so reads from it
+// are verified against the dataset's checksum manifests, not against
+// anything recorded in this process's lifetime. The walk stops at a Prefix
+// wrapper, whose key rewriting would invalidate the digest keys.
 func SeedDigests(p Provider, digests map[string]uint32) int {
+	seeded := 0
 	for p != nil {
-		if v, ok := p.(*Verify); ok {
+		switch v := p.(type) {
+		case *Verify:
 			for key, crc := range digests {
 				v.SeedDigest(key, crc)
 			}
-			return len(digests)
-		}
-		if _, ok := p.(*Prefix); ok {
-			return 0
+			seeded = len(digests)
+		case *Disk:
+			for key, crc := range digests {
+				v.SeedDigest(key, crc)
+			}
+			seeded = len(digests)
+		case *Prefix:
+			return seeded
 		}
 		u, ok := p.(interface{ Unwrap() Provider })
 		if !ok {
-			return 0
+			return seeded
 		}
 		p = u.Unwrap()
 	}
-	return 0
+	return seeded
 }
 
 // Evict drops key from every LRU cache layer in the provider chain rooted
