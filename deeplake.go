@@ -43,6 +43,23 @@
 // to measure the aggregate throughput of 1/4/16 concurrent readers sharing
 // one cache over simulated S3, and the hot-chunk coalescing guarantee.
 //
+// # One node budget for every cache tier
+//
+// Rather than sizing the raw-chunk RAM cache, the decoded-chunk NodeCache
+// and the local-disk tier independently, give a node one budget and let
+// the tiers derive their capacities from it:
+//
+//	budget := deeplake.NodeBudget{MemoryBytes: 8 << 30, DiskBytes: 100 << 30}
+//	cache, node, _ := deeplake.ProvisionNode(origin, "/var/cache/deeplake", budget)
+//	ds, _ := deeplake.Open(ctx, cache)
+//	loader := deeplake.NewLoader(ds, deeplake.LoaderOptions{Cache: node})
+//
+// MemoryBytes splits 3/8 to the raw-chunk LRU and 5/8 to decoded chunks
+// (the shares sum exactly; zero means DefaultNodeMemoryBytes), and
+// DiskBytes bounds the disk tier. ProvisionNode assembles the whole
+// RAM -> disk -> origin chain plus the shared NodeCache in one call; pass
+// an empty cache directory to skip the disk tier.
+//
 // # The chunk-aligned streaming dataloader
 //
 // The training read path (§4.6) is a chunk-aligned pipeline on the scan
@@ -80,6 +97,12 @@
 // QueryOptions.Workers along chunk boundaries. Each worker reuses one
 // evaluation environment and decodes every chunk it owns exactly once;
 // fetches of chunks shared between workers coalesce in the provider chain.
+// Ahead of evaluation, a strip scheduler prefetches the driver tensor's
+// chunks in fixed-width strips of the global visit order — strips cross
+// partition boundaries, so chunks owned by different workers share one
+// coalesced ranged origin request (QueryOptions.StripWidth tunes the
+// width, PerPartitionPrefetch restores the old per-partition path for
+// A/B runs, and Stats reports planned/claimed/skipped prefetches).
 // Merges are positional, so results are byte-identical at any worker
 // count. Run
 //
@@ -220,6 +243,13 @@ func Query(ctx context.Context, ds *Dataset, src string) (*View, error) {
 	return tql.Run(ctx, ds, src)
 }
 
+// ScanStats accumulates prefetch observability counters for TQL execution:
+// chunks planned/claimed/skipped by the strip scheduler, failed prefetch
+// rounds, and strips issued. Pass a pointer via QueryOptions.Stats; the
+// same instance may accumulate across queries. Shed coalesced fetches are
+// counted cache-side in CacheStats.PrefetchShed.
+type ScanStats = tql.ScanStats
+
 // QueryOptions tunes TQL execution.
 type QueryOptions struct {
 	// Workers bounds the parallel scan width used by WHERE evaluation and
@@ -231,16 +261,32 @@ type QueryOptions struct {
 	// exists to measure (and cross-check) what the pushdown saves; leave
 	// it false in production.
 	DisablePushdown bool
+	// PerPartitionPrefetch reverts the scan's chunk prefetch to the legacy
+	// one-batch-per-partition shape instead of cross-partition strips. It
+	// exists as the A/B baseline for measuring what strips save; leave it
+	// false in production.
+	PerPartitionPrefetch bool
+	// StripWidth bounds the chunks per prefetch strip; zero uses
+	// tql.DefaultStripWidth (16).
+	StripWidth int
+	// Stats, when non-nil, accumulates the scan's prefetch counters.
+	Stats *ScanStats
 }
 
 // QueryWith is Query with explicit execution options: the WHERE clause's
 // leading shape-only conjuncts are answered by the shape encoder with zero
 // chunk IO, and the remainder is evaluated across a bounded worker pool
-// over chunk-aligned row partitions.
+// over chunk-aligned row partitions. Ahead of the workers, a strip
+// scheduler hands the provider chain fixed-width runs of the scan's global
+// chunk order, so chunks owned by different workers still share coalesced
+// ranged origin requests.
 func QueryWith(ctx context.Context, ds *Dataset, src string, opts QueryOptions) (*View, error) {
 	return tql.RunWith(ctx, ds, src, tql.Options{
-		Workers:         opts.Workers,
-		DisablePushdown: opts.DisablePushdown,
+		Workers:              opts.Workers,
+		DisablePushdown:      opts.DisablePushdown,
+		PerPartitionPrefetch: opts.PerPartitionPrefetch,
+		StripWidth:           opts.StripWidth,
+		Stats:                opts.Stats,
 	})
 }
 
@@ -434,6 +480,43 @@ type NodeCacheStats = dataloader.NodeCacheStats
 //		})
 //	}
 func NewNodeCache(budget int64) *NodeCache { return dataloader.NewNodeCache(budget) }
+
+// NodeBudget is the single capacity knob for a training node's cache
+// hierarchy. Instead of sizing the raw-chunk RAM LRU, the decoded-chunk
+// NodeCache, and the local-disk tier independently (and over-committing the
+// machine three times), declare what the node actually has:
+//
+//	cache, node, _ := deeplake.ProvisionNode(origin, "/tmp/dl-cache",
+//		deeplake.NodeBudget{MemoryBytes: 8 << 30, DiskBytes: 100 << 30})
+//
+// MemoryBytes splits 3/8 to the raw-chunk LRU and 5/8 to the decoded-chunk
+// cache (decode inflates payloads and re-decoding is the costlier miss);
+// DiskBytes bounds the disk tier (zero = 4GB default, negative =
+// unbounded). The split is a derivation of defaults — callers needing
+// asymmetric tiers keep using WithCache/NewNodeCache/WithDiskTier directly.
+type NodeBudget = storage.NodeBudget
+
+// DefaultNodeMemoryBytes is the memory budget assumed when
+// NodeBudget.MemoryBytes is unset (1GB).
+const DefaultNodeMemoryBytes = storage.DefaultNodeMemoryBytes
+
+// ProvisionNode derives a node's cache hierarchy from one NodeBudget: a
+// sharded read-coalescing RAM cache (budget.LRUBytes) over an optional
+// local-disk tier at cacheDir (budget.DiskCapacity; empty cacheDir skips
+// the tier) over origin, plus a NodeCache (budget.DecodedBytes) to share
+// between the node's Loaders via LoaderOptions.Cache. The returned
+// *storage.LRU is the provider to Open datasets through.
+func ProvisionNode(origin Provider, cacheDir string, budget NodeBudget) (*storage.LRU, *NodeCache, error) {
+	chain := origin
+	if cacheDir != "" {
+		disk, err := storage.NewDisk(origin, cacheDir, storage.DiskOptions{Capacity: budget.DiskCapacity()})
+		if err != nil {
+			return nil, nil, err
+		}
+		chain = disk
+	}
+	return storage.NewLRU(chain, budget.LRUBytes()), dataloader.NewNodeCache(budget.DecodedBytes()), nil
+}
 
 // Fsck types, re-exported for integrity tooling.
 type (

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -283,4 +284,60 @@ func ExampleQuery() {
 	v, _ := Query(ctx, ds, `SELECT labels FROM ex WHERE labels == 1`)
 	fmt.Println(v.Len(), "rows")
 	// Output: 3 rows
+}
+
+// TestProvisionNodeDerivesCapacities asserts the one-budget contract: the
+// RAM cache, decoded-chunk cache, and disk tier built by ProvisionNode get
+// exactly the NodeBudget's derived shares, and the provider chain actually
+// works end to end.
+func TestProvisionNodeDerivesCapacities(t *testing.T) {
+	ctx := context.Background()
+	budget := NodeBudget{MemoryBytes: 64 << 20, DiskBytes: 8 << 20}
+	cache, node, err := ProvisionNode(NewMemoryStore(), t.TempDir(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Capacity(); got != budget.LRUBytes() {
+		t.Fatalf("RAM cache capacity = %d, want LRUBytes %d", got, budget.LRUBytes())
+	}
+	if got := node.Budget(); got != budget.DecodedBytes() {
+		t.Fatalf("NodeCache budget = %d, want DecodedBytes %d", got, budget.DecodedBytes())
+	}
+	if sum := budget.LRUBytes() + budget.DecodedBytes(); sum != budget.MemoryBytes {
+		t.Fatalf("memory shares sum to %d, want the full budget %d", sum, budget.MemoryBytes)
+	}
+	disk, ok := cache.Origin().(*storage.Disk)
+	if !ok {
+		t.Fatalf("chain below the RAM cache is %T, want the disk tier", cache.Origin())
+	}
+	if got := disk.Capacity(); got != budget.DiskBytes {
+		t.Fatalf("disk tier capacity = %d, want DiskBytes %d", got, budget.DiskBytes)
+	}
+
+	// The provisioned chain serves a real dataset, and the loader accepts
+	// the provisioned NodeCache.
+	ds := buildQuickstart(t, cache, 8)
+	l := NewDatasetLoader(ds, LoaderOptions{BatchSize: 4, Cache: node})
+	n := 0
+	for range l.Batches(ctx) {
+		n++
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("batches = %d, want 2", n)
+	}
+
+	// Empty cacheDir skips the disk tier.
+	flat, _, err := ProvisionNode(NewMemoryStore(), "", NodeBudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := flat.Origin().(*storage.Disk); ok {
+		t.Fatal("empty cacheDir should not build a disk tier")
+	}
+	if got := flat.Capacity(); got != int64(DefaultNodeMemoryBytes)*3/8 {
+		t.Fatalf("default budget RAM capacity = %d", got)
+	}
 }

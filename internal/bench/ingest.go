@@ -87,7 +87,107 @@ func IngestThroughput(ctx context.Context, cfg Config) (*Result, error) {
 			Extra: fmt.Sprintf("%.1fx serial", rate/serial),
 		})
 	}
+
+	if err := autotuneMixedSizes(ctx, res); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// autotuneMixedSizes drives the chunk-size autotuner through a mixed-size
+// append stream and enforces the full schedule: grow (uniform small samples
+// double the effective target toward the cap), regret (oversized sealed
+// chunks walk it back down), recover (small samples again), and resume (a
+// reopened writer continues from the persisted schedule rather than
+// restarting cold). The chunk-size trajectory lands in the bench notes.
+func autotuneMixedSizes(ctx context.Context, res *Result) error {
+	store := storage.NewMemory()
+	ds, err := core.Create(ctx, store, "autotune")
+	if err != nil {
+		return err
+	}
+	const cap = 64 << 10
+	if err := ds.SetWriteOptions(core.WriteOptions{AutotuneChunkBytes: cap}); err != nil {
+		return err
+	}
+	x, err := ds.CreateTensor(ctx, core.TensorSpec{
+		Name: "x", Htype: "generic", Dtype: tensor.UInt8,
+		Bounds: chunk.Bounds{Min: 2 << 10, Target: 4 << 10, Max: 8 << 10},
+	})
+	if err != nil {
+		return err
+	}
+	var trajectory []int
+	record := func() {
+		t := x.EffectiveBounds().Target
+		if n := len(trajectory); n == 0 || trajectory[n-1] != t {
+			trajectory = append(trajectory, t)
+		}
+	}
+	appendN := func(n, size int) error {
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(i % 251)
+		}
+		for i := 0; i < n; i++ {
+			arr, err := tensor.FromBytes(tensor.UInt8, []int{size}, buf)
+			if err != nil {
+				return err
+			}
+			if err := x.Append(ctx, arr); err != nil {
+				return err
+			}
+			record()
+		}
+		return nil
+	}
+	record()
+	base := trajectory[0]
+	if err := appendN(512, 256); err != nil { // grow: many uniform small samples
+		return err
+	}
+	peak := x.EffectiveBounds().Target
+	// Regret: 120KB samples fit under the grown effectiveMax (128KB at the
+	// peak) so they seal as oversized chunks rather than tiling, and each
+	// oversized seal overshoots the target by >3/2 — the shrink trigger.
+	if err := appendN(6, 120<<10); err != nil {
+		return err
+	}
+	regretted := x.EffectiveBounds().Target
+	if err := appendN(128, 256); err != nil { // recover
+		return err
+	}
+	if err := ds.Flush(ctx); err != nil {
+		return err
+	}
+	closed := x.EffectiveBounds()
+
+	if peak <= base {
+		return fmt.Errorf("ingest: autotuner never grew: base target %d, after-growth %d", base, peak)
+	}
+	if regretted >= peak {
+		return fmt.Errorf("ingest: autotuner never shrank after oversized seals: peak target %d, after-regret %d", peak, regretted)
+	}
+
+	reopened, err := core.Open(ctx, store)
+	if err != nil {
+		return err
+	}
+	if err := reopened.SetWriteOptions(core.WriteOptions{AutotuneChunkBytes: cap}); err != nil {
+		return err
+	}
+	resumed := reopened.Tensor("x").EffectiveBounds()
+	if resumed != closed {
+		return fmt.Errorf("ingest: reopened writer restarted the autotune schedule: closed at %+v, resumed at %+v", closed, resumed)
+	}
+
+	res.Rows = append(res.Rows, Row{
+		Name: "autotune-target", Value: float64(closed.Target), Unit: "bytes",
+		Extra: fmt.Sprintf("base %d, grown to %d, regret-shrunk to %d, resumed at %d after reopen", base, peak, regretted, resumed.Target),
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("autotune chunk-target trajectory under mixed sizes (cap %d): %v — doubling growth, shrink-on-regret after 120KB oversized seals, schedule persisted across reopen", cap, trajectory))
+	return nil
 }
 
 // ingestParallel writes the sample set into a fresh dataset on simulated

@@ -29,7 +29,8 @@ func TQLScan(ctx context.Context, cfg Config) (*Result, error) {
 	res.Notes = append(res.Notes,
 		"filter-workers-N scans a data-touching WHERE (MEAN(images)) over a cold sharded cache on simulated S3",
 		"pushdown-origin-requests is the origin traffic of a shape-only WHERE; 0 = answered entirely from the shape encoder",
-		"fullscan-origin-requests is the same shape-only WHERE with pushdown disabled (shapes measured from decoded chunk data)")
+		"fullscan-origin-requests is the same shape-only WHERE with pushdown disabled (shapes measured from decoded chunk data)",
+		"strip- vs perpartition-origin-requests A/B the cross-partition strip scheduler against the legacy per-partition prefetch at 16 workers; strips must cost strictly fewer origin requests for identical results")
 
 	// Tiny raw images in small chunks at a mild time compression: the
 	// filter scan spans many chunks and per-request origin latency dwarfs
@@ -88,10 +89,73 @@ func TQLScan(ctx context.Context, cfg Config) (*Result, error) {
 		})
 	}
 
+	// The pre-strip serial engine: one worker, per-partition prefetch, so
+	// every span pays its own origin round trip with no cross-span
+	// lookahead. This is the PR 3 baseline the parallel strip engine is
+	// gated against — strips erased most of the serial path's IO stalls,
+	// so filter-workers-1 above is no longer a handicapped baseline.
+	ds, err := openCold()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	legacyV, err := tql.RunWith(ctx, ds, dataQuery, tql.Options{Workers: 1, PerPartitionPrefetch: true})
+	if err != nil {
+		return nil, err
+	}
+	legacyRate := float64(cfg.N) / time.Since(start).Seconds()
+	if legacyV.Len() != cfg.N {
+		return nil, fmt.Errorf("filter-serial-legacy returned %d/%d rows", legacyV.Len(), cfg.N)
+	}
+	res.Rows = append(res.Rows, Row{
+		Name: "filter-serial-legacy", Value: legacyRate, Unit: "rows/s",
+		Extra: fmt.Sprintf("%d origin requests, 1 worker, per-partition prefetch (pre-strip serial engine)", counting.Requests()),
+	})
+
+	// Cross-partition strips vs the legacy per-partition prefetch: the same
+	// 16-worker scan, byte-identical row set, strictly fewer origin requests
+	// because strips pack chunks owned by different workers into shared
+	// coalesced batches.
+	ds, err = openCold()
+	if err != nil {
+		return nil, err
+	}
+	var stripStats tql.ScanStats
+	sv, err := tql.RunWith(ctx, ds, dataQuery, tql.Options{Workers: 16, Stats: &stripStats})
+	if err != nil {
+		return nil, err
+	}
+	stripReqs := counting.Requests()
+	ds, err = openCold()
+	if err != nil {
+		return nil, err
+	}
+	var perStats tql.ScanStats
+	lv, err := tql.RunWith(ctx, ds, dataQuery, tql.Options{Workers: 16, PerPartitionPrefetch: true, Stats: &perStats})
+	if err != nil {
+		return nil, err
+	}
+	perReqs := counting.Requests()
+	if !equalRows(sv.Indices(), lv.Indices()) {
+		return nil, fmt.Errorf("strip scan and per-partition scan disagree: %d vs %d rows", sv.Len(), lv.Len())
+	}
+	res.Rows = append(res.Rows,
+		Row{
+			Name: "strip-origin-requests", Value: float64(stripReqs), Unit: "reqs",
+			Extra: fmt.Sprintf("16 workers, %s", &stripStats),
+		},
+		Row{
+			Name: "perpartition-origin-requests", Value: float64(perReqs), Unit: "reqs",
+			Extra: fmt.Sprintf("16 workers, legacy A/B baseline, %s", &perStats),
+		})
+	if stripReqs >= perReqs {
+		return nil, fmt.Errorf("cross-partition strips cost %d origin requests, per-partition prefetch %d; strips must be strictly cheaper", stripReqs, perReqs)
+	}
+
 	// Shape-encoder pushdown vs forced full scan: identical results,
 	// radically different origin traffic.
 	const shapeQuery = `SELECT labels FROM bench WHERE SHAPE(images)[0] >= 1 AND NDIM(images) == 3`
-	ds, err := openCold()
+	ds, err = openCold()
 	if err != nil {
 		return nil, err
 	}
@@ -125,4 +189,16 @@ func TQLScan(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("shape-only WHERE reached the origin %d times; pushdown must do zero chunk IO", pushGets)
 	}
 	return res, nil
+}
+
+func equalRows(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

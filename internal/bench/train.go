@@ -75,7 +75,7 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("simulated GPU (2ms/batch) fed by each loader over s3-same-region at time scale %d; throughput in simulated time", trainScale),
 		"serial = 1 worker with readahead disabled (the per-sample read path's schedule); workers-N = chunk-aligned pipeline with coalesced ranged prefetch",
-		"ranks-N shards the chunk order across N rank loaders colocated on one node (Rank/WorldSize), 4 workers and one GPU per rank, all sharing one node-level decoded-chunk cache",
+		"ranks-N shards the chunk order across N rank loaders colocated on one node (Rank/WorldSize), 4 workers and one GPU per rank, all sharing one node-level decoded-chunk cache; both RAM tiers derive from one 1GB NodeBudget (3/8 raw-chunk LRU, 5/8 decoded)",
 		"every deeplake row is checked: each chunk moved from origin + decoded exactly once per epoch — per loader when alone, per NODE across the rank loaders — and origin requests < chunks (coalescing)",
 		"gate: 16-worker streaming must match or beat both format baselines in absolute samples/sec")
 
@@ -220,12 +220,22 @@ func TrainStream(ctx context.Context, cfg Config) (*Result, error) {
 		if world <= 0 {
 			world = 4
 		}
-		ds, err := openCold()
+		// One declared node budget sizes every RAM tier the rank fleet
+		// shares: 3/8 to the raw-chunk LRU the dataset reads through, 5/8
+		// to the decoded-chunk node cache — instead of each tier budgeting
+		// the machine independently.
+		budget := storage.NodeBudget{MemoryBytes: 1 << 30}
+		ram := storage.NewLRU(counting, budget.LRUBytes())
+		ds, err := core.Open(ctx, ram)
 		if err != nil {
 			return nil, err
 		}
+		counting.Reset()
 		chunks := chunksOf(ds)
-		node := dataloader.NewNodeCache(0)
+		node := dataloader.NewNodeCache(budget.DecodedBytes())
+		if got := ram.Capacity() + node.Budget(); got != budget.MemoryBytes {
+			return nil, fmt.Errorf("train: node budget leak: RAM tiers sum to %d bytes, budget is %d", got, budget.MemoryBytes)
+		}
 		gpus := make([]gpusim.GPU, world)
 		sources := make([]gpusim.BatchSource, world)
 		loaders := make([]*dataloader.Loader, world)

@@ -135,6 +135,124 @@ func TestAutotuneScheduleIsAppendDriven(t *testing.T) {
 	}
 }
 
+// TestAutotuneShrinkOnRegret: a sealed chunk that overshoots the effective
+// target by more than 3/2 — a mixed-size stream landing one huge closing
+// sample — walks the doubling clock back one level instead of forward, so
+// the next chunks return to the band rather than ratcheting past it.
+func TestAutotuneShrinkOnRegret(t *testing.T) {
+	b := NewBuilder(Bounds{Min: 10, Target: 100, Max: 200})
+	b.SetAutotune(1600)
+
+	// Grow with small in-band seals: 100 -> 200 -> 400 -> 800.
+	for i := 0; i < 3; i++ {
+		fillAndSeal(t, b, 4)
+	}
+	if got := b.EffectiveBounds().Target; got != 800 {
+		t.Fatalf("effective target %d after growth, want 800", got)
+	}
+
+	// Fill near the target with small samples, then land one huge closing
+	// sample: sealed payload 1500 > 1.5 x 800.
+	small := bytes.Repeat([]byte{1}, 4)
+	for b.PayloadBytes() < 700 {
+		if err := b.Append(Sample{Data: small}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Append(Sample{Data: bytes.Repeat([]byte{2}, 800)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, n, err := b.Flush(); err != nil || n == 0 {
+		t.Fatalf("flush: n=%d err=%v", n, err)
+	}
+	if got := b.EffectiveBounds().Target; got != 400 {
+		t.Fatalf("effective target %d after oversized seal, want shrink to 400", got)
+	}
+
+	// An in-band seal grows it right back — regret is one step, not a reset.
+	fillAndSeal(t, b, 4)
+	if got := b.EffectiveBounds().Target; got != 800 {
+		t.Fatalf("effective target %d after recovery seal, want 800", got)
+	}
+}
+
+// TestAutotuneShrinkNeverBelowBase: regret stops at level zero — the base
+// target is the floor, no matter how many oversized chunks seal.
+func TestAutotuneShrinkNeverBelowBase(t *testing.T) {
+	b := NewBuilder(Bounds{Min: 10, Target: 100, Max: 400})
+	b.SetAutotune(800)
+	small := bytes.Repeat([]byte{3}, 2)
+	for i := 0; i < 4; i++ {
+		// Every seal overshoots 1.5x the target: mostly tiny samples (the
+		// mean floor stays below the base target) plus one fat closer.
+		for b.PayloadBytes() < 99 {
+			if err := b.Append(Sample{Data: small}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Append(Sample{Data: bytes.Repeat([]byte{4}, 60)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := b.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.EffectiveBounds().Target; got != 100 {
+		t.Fatalf("effective target %d after repeated regret, want base 100", got)
+	}
+}
+
+// TestAutotuneStateRoundTrip: a builder reconstructed from AutotuneState
+// mid-stream tracks the uninterrupted builder's effective target at every
+// subsequent step — the schedule survives a writer reopen.
+func TestAutotuneStateRoundTrip(t *testing.T) {
+	bounds := Bounds{Min: 16, Target: 64, Max: 256}
+	const cap = 4096
+	sizes := []int{3, 7, 12, 90, 5, 9, 31, 2, 120, 18}
+	step := func(b *Builder, i int) {
+		sz := sizes[i%len(sizes)]
+		if b.ShouldFlushBefore(sz) {
+			if _, _, err := b.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Append(Sample{Data: bytes.Repeat([]byte{byte(i)}, sz)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	full := NewBuilder(bounds)
+	full.SetAutotune(cap)
+	half := NewBuilder(bounds)
+	half.SetAutotune(cap)
+	const split, total = 40, 80
+	for i := 0; i < split; i++ {
+		step(full, i)
+		step(half, i)
+	}
+	// "Reopen": a fresh builder restored from the persisted state. The write
+	// buffer does not survive a reopen (it is flushed first), so flush both.
+	if _, _, err := half.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := full.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewBuilder(bounds)
+	resumed.SetAutotune(cap)
+	resumed.RestoreAutotune(half.AutotuneState())
+	for i := split; i < total; i++ {
+		step(full, i)
+		step(resumed, i)
+		if g, w := resumed.EffectiveBounds(), full.EffectiveBounds(); g != w {
+			t.Fatalf("step %d: resumed bounds %+v, uninterrupted %+v", i, g, w)
+		}
+	}
+	if g, w := resumed.AutotuneState(), full.AutotuneState(); g != w {
+		t.Fatalf("final state diverged: resumed %+v, uninterrupted %+v", g, w)
+	}
+}
+
 func TestArenaAllocDoesNotAlias(t *testing.T) {
 	a := NewArena()
 	bufs := make([][]byte, 0, 64)

@@ -95,22 +95,37 @@ func pixelsToImage(pixels []byte, height, width, channels int) (image.Image, err
 	}
 }
 
+// DecoderInto is an optional SampleCodec extension: DecodeInto is Decode
+// with the flattened HWC pixel buffer obtained from alloc instead of the
+// heap, so a caller holding an arena can serve the per-sample decode
+// scratch from pooled slabs. The codec's internal decode state (the stdlib
+// image decoders' planes) still lives wherever the codec puts it.
+type DecoderInto interface {
+	DecodeInto(data []byte, alloc func(int) []byte) (pixels []byte, height, width, channels int, err error)
+}
+
 // imageToPixels flattens any decoded image into an HWC uint8 buffer. Gray
 // images come back with 1 channel, everything else with 3 (alpha dropped),
 // which matches the htype contract for image tensors.
 func imageToPixels(img image.Image) (pixels []byte, height, width, channels int) {
+	return imageToPixelsInto(img, func(n int) []byte { return make([]byte, n) })
+}
+
+// imageToPixelsInto is imageToPixels with the output buffer drawn from
+// alloc; alloc must return a slice of exactly the requested length.
+func imageToPixelsInto(img image.Image, alloc func(int) []byte) (pixels []byte, height, width, channels int) {
 	b := img.Bounds()
 	height, width = b.Dy(), b.Dx()
 	if g, ok := img.(*image.Gray); ok {
 		channels = 1
-		pixels = make([]byte, height*width)
+		pixels = alloc(height * width)
 		for y := 0; y < height; y++ {
 			copy(pixels[y*width:(y+1)*width], g.Pix[y*g.Stride:y*g.Stride+width])
 		}
 		return pixels, height, width, channels
 	}
 	channels = 3
-	pixels = make([]byte, height*width*3)
+	pixels = alloc(height * width * 3)
 	i := 0
 	for y := b.Min.Y; y < b.Max.Y; y++ {
 		for x := b.Min.X; x < b.Max.X; x++ {
@@ -152,6 +167,15 @@ func (jpegCodec) Decode(data []byte) ([]byte, int, int, int, error) {
 	return p, h, w, ch, nil
 }
 
+func (jpegCodec) DecodeInto(data []byte, alloc func(int) []byte) ([]byte, int, int, int, error) {
+	img, err := jpeg.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	p, h, w, ch := imageToPixelsInto(img, alloc)
+	return p, h, w, ch, nil
+}
+
 // pngCodec is the lossless image sample codec (stdlib image/png).
 type pngCodec struct{}
 
@@ -175,6 +199,15 @@ func (pngCodec) Decode(data []byte) ([]byte, int, int, int, error) {
 		return nil, 0, 0, 0, err
 	}
 	p, h, w, ch := imageToPixels(img)
+	return p, h, w, ch, nil
+}
+
+func (pngCodec) DecodeInto(data []byte, alloc func(int) []byte) ([]byte, int, int, int, error) {
+	img, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	p, h, w, ch := imageToPixelsInto(img, alloc)
 	return p, h, w, ch, nil
 }
 

@@ -56,6 +56,15 @@ type TensorMeta struct {
 	// before checksums existed simply have no entries; verification is
 	// skipped for those chunks and surfaced in IntegrityInfo.
 	Checksums map[string]uint32 `json:"checksums,omitempty"`
+	// Autotune is the chunk-size autotuner's schedule position at save
+	// time. It rides meta.json and the root snapshots dataset.json points
+	// at, so a writer that reopens the dataset resumes the exact per-tensor
+	// chunk-size trajectory — same levels, same observed-sample floor — and
+	// produces chunks byte-identical to an uninterrupted run. Absent for
+	// datasets written before the autotuner persisted state (the schedule
+	// then restarts from the base target, which is only a layout
+	// pessimisation, never a correctness issue).
+	Autotune *chunk.AutotuneState `json:"autotune,omitempty"`
 }
 
 // datasetMeta is the persisted dataset metadata (dataset.json), the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/chunk"
+	"repro/internal/compress"
 	"repro/internal/encoder"
 	"repro/internal/tensor"
 )
@@ -77,11 +78,22 @@ func (t *Tensor) decodeSample(s chunk.Sample) (*tensor.NDArray, error) {
 
 // decodeSampleArena is decodeSample with the raw-payload copy drawn from an
 // arena (nil falls back to the heap): the per-sample make+copy the hot scan
-// path would otherwise pay becomes a bump allocation in a pooled slab. Media
-// decodes still allocate their pixel buffers in the codec.
+// path would otherwise pay becomes a bump allocation in a pooled slab.
+// Media decodes draw their flattened HWC pixel buffer from the arena too
+// when the codec supports DecodeInto; only the codec's internal decode
+// state still allocates where the codec puts it.
 func (t *Tensor) decodeSampleArena(s chunk.Sample, a *chunk.Arena) (*tensor.NDArray, error) {
 	if t.sampleCodec != nil {
-		pixels, h, w, c, err := t.sampleCodec.Decode(s.Data)
+		var (
+			pixels  []byte
+			h, w, c int
+			err     error
+		)
+		if di, ok := t.sampleCodec.(compress.DecoderInto); ok && a != nil {
+			pixels, h, w, c, err = di.DecodeInto(s.Data, a.Alloc)
+		} else {
+			pixels, h, w, c, err = t.sampleCodec.Decode(s.Data)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -123,6 +123,9 @@ func newTensorShell(ds *Dataset, name string, meta TensorMeta, hspec tensor.Htyp
 		chunkSet:     map[uint64]bool{},
 	}
 	t.builder.SetAutotune(int(ds.writeOpts.AutotuneChunkBytes))
+	if meta.Autotune != nil {
+		t.builder.RestoreAutotune(*meta.Autotune)
+	}
 	return t
 }
 
@@ -322,6 +325,19 @@ func (t *Tensor) lengthShared() uint64 {
 	return t.meta.Length
 }
 
+// EffectiveBounds returns the chunk builder's current working bounds: the
+// static spec bounds reshaped by the autotune schedule (doubling toward the
+// cap, shrink-on-regret after oversized seals, the mean-sample floor).
+// Observability for ingest tooling; the schedule itself persists in the
+// tensor metadata so reopened writers resume it.
+func (t *Tensor) EffectiveBounds() chunk.Bounds {
+	t.ds.mu.RLock()
+	defer t.ds.mu.RUnlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.builder.EffectiveBounds()
+}
+
 // NumChunks returns the number of chunks indexed by the chunk encoder.
 func (t *Tensor) NumChunks() int {
 	t.ds.mu.RLock()
@@ -385,6 +401,10 @@ func (t *Tensor) snapshotState() (tensorRootState, error) {
 		}
 		st.Meta.Checksums = cs
 	}
+	// Freeze the autotuner's schedule position into the snapshot (fresh
+	// pointer: the live builder keeps moving after save).
+	at := t.builder.AutotuneState()
+	st.Meta.Autotune = &at
 	var err error
 	if st.ChunkEnc, err = t.chunkEnc.MarshalBinary(); err != nil {
 		return st, err

@@ -146,6 +146,15 @@ func NewNodeCache(budget int64) *NodeCache {
 	return c
 }
 
+// Budget returns the cache's total byte budget across shards.
+func (c *NodeCache) Budget() int64 {
+	var total int64
+	for _, s := range c.shards {
+		total += s.budget
+	}
+	return total
+}
+
 // shard maps a key to its stripe by FNV-1a hash of the object key (the
 // scope is folded in as well so distinct datasets spread independently).
 func (c *NodeCache) shard(key cacheKey) *cacheShard {

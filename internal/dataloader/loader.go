@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -164,6 +165,12 @@ type Batch struct {
 	// axis — present only for columns whose samples share shape and
 	// dtype (the deep-learning collation of §4.6).
 	Stacked map[string]*tensor.NDArray
+	// Unstacked names the columns (sorted) that could not be stacked —
+	// mismatched shapes or dtypes across the batch's samples. Their values
+	// are still delivered per-sample through Samples; they are listed here
+	// so a consumer reading only Stacked sees the column was dropped from
+	// collation rather than silently absent.
+	Unstacked []string
 }
 
 // Loader streams batches from a view.
@@ -546,6 +553,7 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 		next := 0
 		epoch := 0
 		batchIdx := 0
+		coll := newCollator()
 		var cur []map[string]*tensor.NDArray
 		flush := func(force bool) bool {
 			if len(cur) == 0 {
@@ -558,7 +566,8 @@ func (l *Loader) Batches(ctx context.Context) <-chan Batch {
 				cur = nil
 				return true
 			}
-			b := Batch{Index: batchIdx, Epoch: epoch, Samples: cur, Stacked: collate(cur)}
+			stacked, unstacked := coll.collate(cur)
+			b := Batch{Index: batchIdx, Epoch: epoch, Samples: cur, Stacked: stacked, Unstacked: unstacked}
 			batchIdx++
 			cur = nil
 			select {
@@ -693,28 +702,66 @@ func (w *rowLoader) loadStored(ctx context.Context, tensorName string, src uint6
 	return r.At(ctx, src)
 }
 
-// collate stacks equal-shape columns along a new batch axis.
-func collate(samples []map[string]*tensor.NDArray) map[string]*tensor.NDArray {
+// collator assembles the Stacked side of batches for one pipeline. The
+// stacked columns' backing bytes are drawn from a per-pipeline arena
+// instead of a fresh heap array per column per batch: stacked arrays escape
+// into user batches, so the arena is never Reset — like the rowLoader's
+// decode arena it amortizes allocation into pooled 256KB slabs rather than
+// recycling memory. One collator is owned by the single reorder/emit
+// goroutine, so it needs no locking.
+type collator struct {
+	arena *chunk.Arena
+	// arrs is the reused per-column gather scratch.
+	arrs []*tensor.NDArray
+}
+
+func newCollator() *collator {
+	return &collator{arena: chunk.NewArena()}
+}
+
+// collate stacks equal-shape columns along a new batch axis. Columns whose
+// samples disagree on shape or dtype cannot be stacked; they are returned
+// in unstacked (sorted) so the batch can surface them instead of silently
+// dropping the column — their per-sample values remain in Batch.Samples.
+func (c *collator) collate(samples []map[string]*tensor.NDArray) (out map[string]*tensor.NDArray, unstacked []string) {
 	if len(samples) == 0 {
-		return nil
+		return nil, nil
 	}
-	out := map[string]*tensor.NDArray{}
+	out = make(map[string]*tensor.NDArray, len(samples[0]))
 	for name := range samples[0] {
-		arrs := make([]*tensor.NDArray, 0, len(samples))
+		arrs := c.arrs[:0]
+		complete := true
 		for _, s := range samples {
 			a, ok := s[name]
 			if !ok {
-				arrs = nil
+				complete = false
 				break
 			}
 			arrs = append(arrs, a)
 		}
-		if arrs == nil {
+		c.arrs = arrs[:0]
+		if !complete {
+			// The column is not present in every sample (transforms may
+			// emit ragged maps): nothing coherent to stack or report.
 			continue
 		}
-		if stacked, err := tensor.Stack(arrs); err == nil {
-			out[name] = stacked
+		stacked, err := c.stack(arrs)
+		if err != nil {
+			unstacked = append(unstacked, name)
+			continue
 		}
+		out[name] = stacked
 	}
-	return out
+	sort.Strings(unstacked)
+	return out, unstacked
+}
+
+// stack runs tensor.StackInto over an arena-backed buffer sized for the
+// column. Shape/dtype validation happens in StackInto before the buffer is
+// touched; on mismatch the reserved bytes are simply abandoned to the
+// arena's current slab (bounded by error frequency, and mismatched columns
+// are reported once per batch).
+func (c *collator) stack(arrs []*tensor.NDArray) (*tensor.NDArray, error) {
+	buf := c.arena.Alloc(arrs[0].NumBytes() * len(arrs))
+	return tensor.StackInto(arrs, buf)
 }

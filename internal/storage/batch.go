@@ -412,6 +412,7 @@ func (l *LRU) prefetchExec(ctx context.Context, reqs []RangeReq, finishes []func
 		if cause == nil {
 			cause = ErrNotFound
 		}
+		l.shed.Add(1)
 		finishes[i](nil, fmt.Errorf("%w (key %q): %w", errPrefetchShed, reqs[i].Key, cause))
 	}
 	l.prefetched.Add(int64(fetched))

@@ -403,6 +403,10 @@ func TestLRUPrefetchShedReadersRecover(t *testing.T) {
 	if fetched != 0 {
 		t.Fatalf("nothing landed, yet fetched = %d", fetched)
 	}
+	// The degradation is visible in the cache stats, one count per shed key.
+	if shed := lru.Stats().PrefetchShed; shed != int64(len(keys)) {
+		t.Fatalf("Stats().PrefetchShed = %d, want %d", shed, len(keys))
+	}
 	// The flights were completed with errPrefetchShed, not left dangling:
 	// readers issue their own fetch and succeed.
 	for _, k := range keys {

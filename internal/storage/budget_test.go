@@ -1,0 +1,56 @@
+package storage
+
+import "testing"
+
+func TestNodeBudgetSplitSumsExactly(t *testing.T) {
+	for _, mem := range []int64{1, 7, 8, 1000, 1 << 20, 1<<30 + 3} {
+		b := NodeBudget{MemoryBytes: mem}
+		lru, dec := b.LRUBytes(), b.DecodedBytes()
+		if lru+dec != mem {
+			t.Fatalf("MemoryBytes=%d: LRU %d + decoded %d != budget", mem, lru, dec)
+		}
+		if lru < 0 || dec < 0 {
+			t.Fatalf("MemoryBytes=%d: negative share (lru=%d dec=%d)", mem, lru, dec)
+		}
+		if mem >= 8 && lru == 0 {
+			t.Fatalf("MemoryBytes=%d: LRU share collapsed to zero", mem)
+		}
+	}
+}
+
+func TestNodeBudgetDefaults(t *testing.T) {
+	var b NodeBudget
+	if got := b.LRUBytes() + b.DecodedBytes(); got != DefaultNodeMemoryBytes {
+		t.Fatalf("zero budget shares sum to %d, want DefaultNodeMemoryBytes", got)
+	}
+	if b.DiskCapacity() != 0 {
+		t.Fatalf("zero DiskBytes should pass through as 0 (DiskOptions maps it to the default), got %d", b.DiskCapacity())
+	}
+	if got := (NodeBudget{DiskBytes: -1}).DiskCapacity(); got != -1 {
+		t.Fatalf("negative DiskBytes (unbounded) should pass through, got %d", got)
+	}
+	if got := (NodeBudget{MemoryBytes: -5}).LRUBytes(); got != DefaultNodeMemoryBytes*3/8 {
+		t.Fatalf("negative MemoryBytes should fall back to the default split, got %d", got)
+	}
+}
+
+// TestNodeBudgetDrivesDiskTier closes the loop with the disk tier: a budget
+// with explicit DiskBytes bounds the tier, and the default budget gets
+// DefaultDiskCapacity.
+func TestNodeBudgetDrivesDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(NewMemory(), dir, DiskOptions{Capacity: NodeBudget{DiskBytes: 1 << 20}.DiskCapacity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Capacity(); got != 1<<20 {
+		t.Fatalf("disk tier capacity = %d, want budget's 1MB", got)
+	}
+	d2, err := NewDisk(NewMemory(), t.TempDir(), DiskOptions{Capacity: NodeBudget{}.DiskCapacity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Capacity(); got != DefaultDiskCapacity {
+		t.Fatalf("default budget disk capacity = %d, want DefaultDiskCapacity", got)
+	}
+}

@@ -126,6 +126,10 @@ func NewDisk(origin Provider, dir string, opts DiskOptions) (*Disk, error) {
 	return d, nil
 }
 
+// Capacity is the tier's effective byte bound after defaulting: negative
+// means unbounded.
+func (d *Disk) Capacity() int64 { return d.cap }
+
 // scan indexes the directory's existing files as warm entries, oldest at
 // the LRU tail, then evicts down to capacity (the tier may have been
 // reopened smaller than it was written).

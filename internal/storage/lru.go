@@ -50,6 +50,7 @@ type LRU struct {
 	coalesced  atomic.Int64
 	prefetched atomic.Int64
 	bypassed   atomic.Int64
+	shed       atomic.Int64
 }
 
 type lruShard struct {
@@ -115,6 +116,15 @@ func (l *LRU) Unwrap() Provider { return l.origin }
 // NumShards returns the shard count.
 func (l *LRU) NumShards() int { return len(l.shards) }
 
+// Capacity returns the cache's total byte capacity across shards.
+func (l *LRU) Capacity() int64 {
+	var total int64
+	for _, s := range l.shards {
+		total += s.capacity
+	}
+	return total
+}
+
 // shard maps a key to its shard by FNV-1a hash.
 func (l *LRU) shard(key string) *lruShard {
 	const (
@@ -152,6 +162,12 @@ type Stats struct {
 	// Prefetched counts objects admitted by coalesced batch prefetches
 	// (Prefetch) rather than on-demand misses.
 	Prefetched int64
+	// PrefetchShed counts prefetch-claimed keys whose coalesced round trip
+	// failed before reaching them: their flights completed with a shed
+	// marker and any waiting readers fell back to on-demand fetches. A
+	// nonzero value means prefetching is degraded (origin faults mid-batch),
+	// not that data was lost.
+	PrefetchShed int64
 	// Bypassed counts objects that could not be cached because they were
 	// larger than one shard's byte budget — the signal that the shard
 	// count is too high (or the capacity too low) for the object sizes
@@ -187,10 +203,11 @@ type Stats struct {
 // gathered by walking the origin chain through Unwrap.
 func (l *LRU) Stats() Stats {
 	s := Stats{
-		Coalesced:  l.coalesced.Load(),
-		Prefetched: l.prefetched.Load(),
-		Bypassed:   l.bypassed.Load(),
-		Shards:     make([]ShardStats, len(l.shards)),
+		Coalesced:    l.coalesced.Load(),
+		Prefetched:   l.prefetched.Load(),
+		Bypassed:     l.bypassed.Load(),
+		PrefetchShed: l.shed.Load(),
+		Shards:       make([]ShardStats, len(l.shards)),
 	}
 	for i, sh := range l.shards {
 		sh.mu.Lock()

@@ -279,26 +279,56 @@ func (a *NDArray) reduceInit(axis int, init float64, step func(acc, v float64) f
 	return out, nil
 }
 
-// Stack concatenates arrays of identical shape and dtype along a new
-// leading axis, the collation step of the dataloader (§4.6).
-func Stack(arrays []*NDArray) (*NDArray, error) {
+// stackLayout validates that the arrays share one dtype and shape and
+// returns the stacked output shape plus the per-array byte stride.
+func stackLayout(arrays []*NDArray) ([]int, int, error) {
 	if len(arrays) == 0 {
-		return nil, fmt.Errorf("tensor: stack of zero arrays")
+		return nil, 0, fmt.Errorf("tensor: stack of zero arrays")
 	}
 	first := arrays[0]
 	for _, a := range arrays[1:] {
 		if a.dtype != first.dtype || !sameShape(a.shape, first.shape) {
-			return nil, fmt.Errorf("tensor: stack mismatch: %v vs %v", first, a)
+			return nil, 0, fmt.Errorf("tensor: stack mismatch: %v vs %v", first, a)
 		}
 	}
 	outShape := append([]int{len(arrays)}, first.shape...)
-	out, err := New(first.dtype, outShape...)
+	return outShape, first.NumBytes(), nil
+}
+
+// Stack concatenates arrays of identical shape and dtype along a new
+// leading axis, the collation step of the dataloader (§4.6).
+func Stack(arrays []*NDArray) (*NDArray, error) {
+	outShape, stride, err := stackLayout(arrays)
 	if err != nil {
 		return nil, err
 	}
-	stride := first.NumBytes()
+	out, err := New(arrays[0].dtype, outShape...)
+	if err != nil {
+		return nil, err
+	}
 	for i, a := range arrays {
 		copy(out.data[i*stride:(i+1)*stride], a.data)
 	}
 	return out, nil
+}
+
+// StackInto is Stack with the output's backing array supplied by the
+// caller: buf must hold exactly len(arrays) x the per-array byte size, and
+// the returned array wraps it without copying — the dataloader's collator
+// draws buf from a per-pipeline arena so steady-state batch assembly stops
+// allocating a fresh backing array per batch. The same validation as Stack
+// applies; the caller keeps ownership of buf's lifetime (the batch holds it
+// until the consumer drops the batch).
+func StackInto(arrays []*NDArray, buf []byte) (*NDArray, error) {
+	outShape, stride, err := stackLayout(arrays)
+	if err != nil {
+		return nil, err
+	}
+	if want := stride * len(arrays); len(buf) != want {
+		return nil, fmt.Errorf("tensor: stack buffer holds %d bytes, want %d", len(buf), want)
+	}
+	for i, a := range arrays {
+		copy(buf[i*stride:(i+1)*stride], a.data)
+	}
+	return FromBytes(arrays[0].dtype, outShape, buf)
 }

@@ -201,3 +201,38 @@ func TestStack(t *testing.T) {
 		t.Fatal("empty stack should error")
 	}
 }
+
+func TestStackInto(t *testing.T) {
+	a := arr(t, UInt8, []int{2}, 1, 2)
+	b := arr(t, UInt8, []int{2}, 3, 4)
+	buf := make([]byte, 4)
+	s, err := StackInto([]*NDArray{a, b}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Shape(), []int{2, 2}) {
+		t.Fatalf("stack shape = %v", s.Shape())
+	}
+	if !reflect.DeepEqual(s.Float64s(), []float64{1, 2, 3, 4}) {
+		t.Fatalf("stack values = %v", s.Float64s())
+	}
+	// The output wraps the caller's buffer — no copy.
+	if &buf[0] != &s.Bytes()[0] {
+		t.Fatal("StackInto copied instead of wrapping buf")
+	}
+	// Same validation as Stack, checked before buf is touched.
+	c := arr(t, UInt8, []int{3}, 1, 2, 3)
+	if _, err := StackInto([]*NDArray{a, c}, make([]byte, 5)); err == nil {
+		t.Fatal("mismatched shapes should error")
+	}
+	if _, err := StackInto(nil, nil); err == nil {
+		t.Fatal("empty stack should error")
+	}
+	// And the buffer must be sized exactly.
+	if _, err := StackInto([]*NDArray{a, b}, make([]byte, 3)); err == nil {
+		t.Fatal("undersized buffer should error")
+	}
+	if _, err := StackInto([]*NDArray{a, b}, make([]byte, 5)); err == nil {
+		t.Fatal("oversized buffer should error")
+	}
+}

@@ -38,6 +38,9 @@ func Compile(q *Query) (*Plan, error) {
 	} else {
 		p.stages = append(p.stages, "scan "+src+" [chunk-partitioned]")
 	}
+	if touchesChunkData(q) {
+		p.stages = append(p.stages, "prefetch chunk strips [cross-partition coalesced origin fetch]")
+	}
 	if q.Where != nil {
 		shapeConj, dataConj := splitConjuncts(q.Where)
 		switch {
@@ -79,6 +82,23 @@ func Compile(q *Query) (*Plan, error) {
 		p.stages = append(p.stages, "project "+strings.Join(parts, ", "))
 	}
 	return p, nil
+}
+
+// touchesChunkData reports whether executing q will read sample data from
+// chunks — the condition under which the scan engine prefetches chunk
+// strips ahead of its workers. Shape-only filters stay answerable from the
+// shape encoder alone, so a plan made purely of them gets no prefetch
+// stage.
+func touchesChunkData(q *Query) bool {
+	for _, x := range []Expr{q.Where, q.OrderBy, q.GroupBy, q.ArrangeBy, q.SampleBy} {
+		if x == nil {
+			continue
+		}
+		if _, data := splitConjuncts(x); len(data) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // shapeOnly reports whether an expression touches sample data only through
@@ -236,7 +256,14 @@ func ExecuteWith(ctx context.Context, ds *core.Dataset, q *Query, opts Options) 
 			return nil, err
 		}
 	}
-	sc := &scanner{ds: ds, workers: opts.workers(), rawShapes: opts.DisablePushdown}
+	sc := &scanner{
+		ds:           ds,
+		workers:      opts.workers(),
+		rawShapes:    opts.DisablePushdown,
+		perPartition: opts.PerPartitionPrefetch,
+		stripWidth:   opts.stripWidth(),
+		stats:        opts.Stats,
+	}
 	n := ds.NumRows()
 	rows := make([]uint64, n)
 	for i := range rows {

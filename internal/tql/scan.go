@@ -23,6 +23,19 @@ type Options struct {
 	// instead of the shape encoder. Benchmarks and tests use it to measure
 	// (and cross-check) what the shape-encoder pushdown saves.
 	DisablePushdown bool
+	// PerPartitionPrefetch reverts to the legacy prefetch shape: each worker
+	// hands the storage planner only the chunks of the partition it is about
+	// to walk, so chunks that are near-adjacent in the keyspace but owned by
+	// different workers never share a coalesced origin request. Kept as the
+	// A/B baseline for the cross-partition strip scheduler (the default).
+	PerPartitionPrefetch bool
+	// StripWidth bounds how many chunks the strip scheduler hands to the
+	// fetch planner per strip. Zero or negative uses DefaultStripWidth.
+	StripWidth int
+	// Stats, when non-nil, accumulates prefetch observability counters for
+	// the query (planned/claimed/skipped chunks, failed rounds, strips
+	// issued). Safe to share across queries; counters only ever add.
+	Stats *ScanStats
 }
 
 func (o Options) workers() int {
@@ -30,6 +43,106 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// DefaultStripWidth is the chunk count per prefetch strip. At the 8–16MB
+// chunk band a strip is ~128–256MB of lookahead split across a handful of
+// coalesced ranged requests — deep enough to keep 16 workers fed, shallow
+// enough that shedding one strip loses seconds, not the scan.
+const DefaultStripWidth = 16
+
+func (o Options) stripWidth() int {
+	if o.StripWidth > 0 {
+		return o.StripWidth
+	}
+	return DefaultStripWidth
+}
+
+// ScanStats counts what the scan's prefetch machinery actually did, so
+// degraded prefetch (shed batches, unclaimable chunks) is visible instead of
+// silent. All methods are safe for concurrent use and nil receivers.
+type ScanStats struct {
+	planned atomic.Int64
+	claimed atomic.Int64
+	skipped atomic.Int64
+	failed  atomic.Int64
+	strips  atomic.Int64
+}
+
+// record books one prefetch round: planned chunk ids handed to the planner,
+// claimed ids accepted into the cache's singleflight layer, and the round's
+// error if any. The planned−claimed remainder (already cached, in flight, or
+// still write-buffered) counts as skipped.
+func (s *ScanStats) record(planned, claimed int, err error) {
+	if s == nil {
+		return
+	}
+	s.planned.Add(int64(planned))
+	s.claimed.Add(int64(claimed))
+	if skipped := planned - claimed; skipped > 0 {
+		s.skipped.Add(int64(skipped))
+	}
+	if err != nil {
+		s.failed.Add(1)
+	}
+}
+
+func (s *ScanStats) recordStrip() {
+	if s != nil {
+		s.strips.Add(1)
+	}
+}
+
+// PrefetchPlanned is the total chunk ids handed to the fetch planner.
+func (s *ScanStats) PrefetchPlanned() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.planned.Load()
+}
+
+// PrefetchClaimed is how many of those the cache claimed for background
+// fetch. The rest were already resident, in flight, or not yet sealed.
+func (s *ScanStats) PrefetchClaimed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.claimed.Load()
+}
+
+// PrefetchSkipped is planned minus claimed: chunks the planner declined
+// because prefetching them would be redundant.
+func (s *ScanStats) PrefetchSkipped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.skipped.Load()
+}
+
+// PrefetchFailed counts prefetch rounds that returned an error. Readers fall
+// back to demand fetches, so nonzero means degraded, not lost. Chunks whose
+// coalesced round trip was shed after claiming surface separately in
+// storage.Stats.PrefetchShed.
+func (s *ScanStats) PrefetchFailed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.failed.Load()
+}
+
+// PrefetchStrips counts strips issued by the cross-partition scheduler;
+// zero under Options.PerPartitionPrefetch.
+func (s *ScanStats) PrefetchStrips() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.strips.Load()
+}
+
+// String renders the counters in the style of Explain's stage notes.
+func (s *ScanStats) String() string {
+	return fmt.Sprintf("prefetch: %d planned, %d claimed, %d skipped, %d failed rounds, %d strips",
+		s.PrefetchPlanned(), s.PrefetchClaimed(), s.PrefetchSkipped(), s.PrefetchFailed(), s.PrefetchStrips())
 }
 
 // oversubscribe controls how many partitions each worker gets on average:
@@ -47,6 +160,11 @@ type scanner struct {
 	workers int
 	// rawShapes bypasses the shape encoder (Options.DisablePushdown).
 	rawShapes bool
+	// perPartition selects the legacy one-prefetch-per-partition shape
+	// (Options.PerPartitionPrefetch) over the cross-partition strips.
+	perPartition bool
+	stripWidth   int
+	stats        *ScanStats
 }
 
 // splitConjuncts flattens the AND tree of a filter left-to-right and
@@ -161,29 +279,45 @@ func (sc *scanner) eval(ctx context.Context, rows []uint64, x Expr, stage string
 	if workers > len(spans) {
 		workers = len(spans)
 	}
-	// Span prefetch: before a worker walks a partition, the chunks it will
-	// touch are handed to the storage layer's fetch planner in one batch, so
-	// near-adjacent chunk objects arrive in coalesced ranged origin requests
-	// instead of one round trip each. Shape-only expressions are excluded:
-	// they resolve from the shape encoder (pushdown's zero-chunk-IO
-	// guarantee), so prefetching chunks for them would be pure waste. Errors
-	// are ignored — the per-row read path re-fetches and reports with row
-	// context.
+	// Prefetch: before a worker walks a partition, the chunks the scan will
+	// touch are handed to the storage layer's fetch planner, so near-adjacent
+	// chunk objects arrive in coalesced ranged origin requests instead of one
+	// round trip each. The default shape is the cross-partition strip
+	// scheduler: strips of fixed width cut across partition boundaries, so
+	// chunks owned by different workers still share a coalesced request (and
+	// the tail of each strip is lookahead for whichever worker claims the
+	// next partition). Options.PerPartitionPrefetch reverts to handing each
+	// partition's chunks over separately. Shape-only expressions are
+	// excluded: they resolve from the shape encoder (pushdown's
+	// zero-chunk-IO guarantee), so prefetching chunks for them would be pure
+	// waste. Errors are counted into ScanStats, never fatal — the per-row
+	// read path re-fetches and reports with row context.
 	driver := scanDriver(sc.ds, x)
 	var driverChunks []core.ChunkSpan
 	if driver != nil && ascending(rows) && (sc.rawShapes || !shapeOnly(x)) {
 		driverChunks = driver.ChunkSpans()
 	}
-	prefetchSpan := func(ctx context.Context, sp span) {
+	var strips *stripScheduler
+	if len(driverChunks) > 0 && !sc.perPartition {
+		strips = newStripScheduler(driver, driverChunks, rows, spans, sc.stripWidth, sc.stats)
+	}
+	prefetchSpan := func(ctx context.Context, i int) {
+		if strips != nil {
+			strips.ensure(ctx, i)
+			return
+		}
 		if len(driverChunks) == 0 {
 			return
 		}
+		sp := spans[i]
 		if ids := spanChunkIDs(driverChunks, rows[sp.lo:sp.hi]); len(ids) > 0 {
-			_, _ = driver.PrefetchChunks(ctx, ids, storage.PlanOptions{})
+			claimed, err := driver.PrefetchChunks(ctx, ids, storage.PlanOptions{})
+			sc.stats.record(len(ids), claimed, err)
 		}
 	}
-	evalSpan := func(ctx context.Context, e *env, sp span) error {
-		prefetchSpan(ctx, sp)
+	evalSpan := func(ctx context.Context, e *env, i int) error {
+		prefetchSpan(ctx, i)
+		sp := spans[i]
 		for pos := sp.lo; pos < sp.hi; pos++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -201,8 +335,8 @@ func (sc *scanner) eval(ctx context.Context, rows []uint64, x Expr, stage string
 	}
 	if workers <= 1 {
 		e := sc.newWorkerEnv(ctx)
-		for _, sp := range spans {
-			if err := evalSpan(ctx, e, sp); err != nil {
+		for i := range spans {
+			if err := evalSpan(ctx, e, i); err != nil {
 				return err
 			}
 		}
@@ -232,7 +366,7 @@ func (sc *scanner) eval(ctx context.Context, rows []uint64, x Expr, stage string
 				if i >= len(spans) {
 					return
 				}
-				if err := evalSpan(scanCtx, e, spans[i]); err != nil {
+				if err := evalSpan(scanCtx, e, i); err != nil {
 					fail(err)
 					return
 				}
@@ -247,6 +381,84 @@ func (sc *scanner) newWorkerEnv(ctx context.Context) *env {
 	e := newScanEnv(ctx, sc.ds)
 	e.rawShapes = sc.rawShapes
 	return e
+}
+
+// stripScheduler issues prefetch strips over the scan's global chunk order
+// rather than per partition. Per-partition prefetch caps every coalesced
+// batch at one partition's chunks, so two chunks that are adjacent in the
+// keyspace but sit either side of a partition boundary always cost two
+// origin round trips; a strip ignores the boundaries and packs them into
+// one ranged request. Because strips are fixed-width, issuing enough of
+// them to cover one partition usually reaches into the next — free
+// lookahead for whichever worker claims it.
+type stripScheduler struct {
+	driver *core.Tensor
+	// ids is every distinct chunk id the scan will visit, in visit order;
+	// spanEnd[i] is the exclusive end of partition i's chunks within ids.
+	ids     []uint64
+	spanEnd []int
+	width   int
+	stats   *ScanStats
+
+	mu   sync.Mutex
+	next int // first index in ids not yet handed to the fetch planner
+}
+
+func newStripScheduler(driver *core.Tensor, chunks []core.ChunkSpan, rows []uint64, spans []span, width int, stats *ScanStats) *stripScheduler {
+	s := &stripScheduler{
+		driver:  driver,
+		spanEnd: make([]int, len(spans)),
+		width:   width,
+		stats:   stats,
+	}
+	ci, si := 0, 0
+	for pos, row := range rows {
+		for si < len(spans) && pos >= spans[si].hi {
+			s.spanEnd[si] = len(s.ids)
+			si++
+		}
+		for ci < len(chunks) && row > chunks[ci].Last {
+			ci++
+		}
+		if ci >= len(chunks) {
+			break
+		}
+		if row < chunks[ci].First {
+			continue
+		}
+		if n := len(s.ids); n == 0 || s.ids[n-1] != chunks[ci].ChunkID {
+			s.ids = append(s.ids, chunks[ci].ChunkID)
+		}
+	}
+	for ; si < len(spans); si++ {
+		s.spanEnd[si] = len(s.ids)
+	}
+	return s
+}
+
+// ensure hands out strips until every chunk of partition spanIdx has been
+// given to the fetch planner. Workers claim partitions in ascending order,
+// so the common case is a no-op (a previous strip already covered this
+// partition) or one strip; a worker that skips ahead issues the strips for
+// everything in between, which those slower workers then find in flight.
+func (s *stripScheduler) ensure(ctx context.Context, spanIdx int) {
+	target := s.spanEnd[spanIdx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.next < target {
+		hi := s.next + s.width
+		if hi > len(s.ids) {
+			hi = len(s.ids)
+		}
+		strip := s.ids[s.next:hi]
+		s.next = hi
+		// PrefetchChunks is asynchronous — it claims keys and returns while
+		// the coalesced fetches run in the background — so holding mu here
+		// serialises planning, not IO.
+		claimed, err := s.driver.PrefetchChunks(ctx, strip, storage.PlanOptions{})
+		s.stats.record(len(strip), claimed, err)
+		s.stats.recordStrip()
+	}
 }
 
 // partition splits the positions of rows into contiguous partitions aligned

@@ -255,6 +255,117 @@ func TestParallelScanDeterminism(t *testing.T) {
 	}
 }
 
+// TestStripPrefetchCoalescesAcrossPartitions is the tentpole's IO-shape
+// assertion at unit scale: with a prefetching cache in the chain, the
+// cross-partition strip scheduler serves a 16-worker data scan in strictly
+// fewer origin requests than the per-partition prefetch it replaces,
+// because strips pack chunks owned by different workers into shared batch
+// requests. Results are identical either way.
+func TestStripPrefetchCoalescesAcrossPartitions(t *testing.T) {
+	ctx := context.Background()
+	count := storage.NewCounting(storage.NewMemory())
+	scanDataset(t, count, 96, []int{8})
+	openCold := func() *core.Dataset {
+		ds, err := core.Open(ctx, storage.NewShardedLRU(count, 1<<30, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		count.Reset()
+		return ds
+	}
+	const q = "SELECT labels FROM scan WHERE MEAN(x) >= 0"
+
+	var stripStats ScanStats
+	strip, err := RunWith(ctx, openCold(), q, Options{Workers: 16, Stats: &stripStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripReqs := count.Requests()
+
+	var legacyStats ScanStats
+	legacy, err := RunWith(ctx, openCold(), q, Options{Workers: 16, PerPartitionPrefetch: true, Stats: &legacyStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyReqs := count.Requests()
+
+	if !reflect.DeepEqual(strip.Indices(), legacy.Indices()) {
+		t.Fatalf("strip scan %v != per-partition scan %v", strip.Indices(), legacy.Indices())
+	}
+	if strip.Len() != 96 {
+		t.Fatalf("rows = %d, want 96", strip.Len())
+	}
+	if stripStats.PrefetchStrips() == 0 || stripStats.PrefetchPlanned() == 0 {
+		t.Fatalf("strip scheduler idle: %s", &stripStats)
+	}
+	if legacyStats.PrefetchStrips() != 0 {
+		t.Fatalf("per-partition mode issued %d strips", legacyStats.PrefetchStrips())
+	}
+	if legacyStats.PrefetchPlanned() == 0 {
+		t.Fatalf("per-partition prefetch unobserved: %s", &legacyStats)
+	}
+	if stripReqs >= legacyReqs {
+		t.Fatalf("strips did not coalesce across partitions: %d origin requests vs %d per-partition", stripReqs, legacyReqs)
+	}
+}
+
+// TestScanStatsCountSkippedPrefetch asserts the planned/claimed/skipped
+// ledger: a rescan over a warm cache plans the same chunks but claims none
+// of them — every one counts as skipped, not silently dropped.
+func TestScanStatsCountSkippedPrefetch(t *testing.T) {
+	ctx := context.Background()
+	ds, err := core.Open(ctx, storage.NewShardedLRU(func() storage.Provider {
+		mem := storage.NewMemory()
+		scanDataset(t, mem, 60, []int{8})
+		return mem
+	}(), 1<<30, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT labels FROM scan WHERE MEAN(x) >= 0"
+	var cold ScanStats
+	if _, err := RunWith(ctx, ds, q, Options{Workers: 4, Stats: &cold}); err != nil {
+		t.Fatal(err)
+	}
+	if cold.PrefetchClaimed() == 0 {
+		t.Fatalf("cold scan claimed nothing: %s", &cold)
+	}
+	var warm ScanStats
+	if _, err := RunWith(ctx, ds, q, Options{Workers: 4, Stats: &warm}); err != nil {
+		t.Fatal(err)
+	}
+	if warm.PrefetchPlanned() == 0 || warm.PrefetchClaimed() != 0 {
+		t.Fatalf("warm scan should plan but claim nothing: %s", &warm)
+	}
+	if warm.PrefetchSkipped() != warm.PrefetchPlanned() {
+		t.Fatalf("skipped %d != planned %d on warm cache", warm.PrefetchSkipped(), warm.PrefetchPlanned())
+	}
+}
+
+// TestStripWidthOne degenerates the strip scheduler to one chunk per strip
+// and checks it still covers the whole scan correctly — the boundary case
+// of the width knob.
+func TestStripWidthOne(t *testing.T) {
+	ctx := context.Background()
+	mem := storage.NewMemory()
+	scanDataset(t, mem, 60, []int{8})
+	ds, err := core.Open(ctx, storage.NewShardedLRU(mem, 1<<30, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats ScanStats
+	v, err := RunWith(ctx, ds, "SELECT labels FROM scan WHERE MEAN(x) >= 0", Options{Workers: 8, StripWidth: 1, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 60 {
+		t.Fatalf("rows = %d, want 60", v.Len())
+	}
+	if stats.PrefetchStrips() != stats.PrefetchPlanned() {
+		t.Fatalf("width-1 strips carry one chunk each: strips %d, planned %d", stats.PrefetchStrips(), stats.PrefetchPlanned())
+	}
+}
+
 // cancelStore cancels a context after a fixed number of Gets, simulating a
 // caller abandoning a query mid-scan.
 type cancelStore struct {
